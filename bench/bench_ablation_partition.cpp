@@ -1,0 +1,67 @@
+// Ablation: the locality-preserving partitioning (Section 4). Two checks:
+//  (1) CON (sub-tree-aligned splits) vs Send-Coef (arbitrary splits) —
+//      locality removes the per-datapoint partial emissions entirely;
+//  (2) Equation 6 — DMHaarSpace boundary-row communication shrinks as
+//      2^-h when the worker sub-tree height h grows, tracking
+//      N * max|M[j]| / 2^h.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "data/generators.h"
+#include "dist/dcon.h"
+#include "dist/dmin_haar_space.h"
+#include "dist/send_coef.h"
+
+int main() {
+  dwm::bench::PrintHeader(
+      "bench_ablation_partition",
+      "Ablation (ours): locality-preserving partitioning & Equation 6",
+      "CON ships ~1/log(N) of Send-Coef's records; DMHaarSpace rows shrink "
+      "~2x per extra sub-tree level");
+  const int64_t n = dwm::bench::ScaledN(18);
+  const auto data = dwm::MakeUniform(n, 1000.0, 4);
+  const auto cluster = dwm::bench::PaperCluster(20, 1);
+
+  std::printf("-- locality vs per-datapoint path emission (B = N/8) --\n");
+  const auto con = dwm::RunCon(data, n / 8, n / 32, cluster);
+  const auto send_coef = dwm::RunSendCoef(data, n / 8, 32, cluster);
+  std::printf("CON       : %10lld records %12lld bytes\n",
+              static_cast<long long>(con.report.jobs[0].shuffle_records),
+              static_cast<long long>(con.report.jobs[0].shuffle_bytes));
+  std::printf("Send-Coef : %10lld records %12lld bytes\n",
+              static_cast<long long>(send_coef.report.jobs[0].shuffle_records),
+              static_cast<long long>(send_coef.report.jobs[0].shuffle_bytes));
+  dwm::bench::PrintShapeCheck(
+      send_coef.report.jobs[0].shuffle_records >
+          2 * con.report.jobs[0].shuffle_records,
+      "Send-Coef emits multiples of CON's records (O(S(logN-logS)) vs O(N))");
+
+  std::printf("\n-- Equation 6: DMHaarSpace bottom-up shuffle vs sub-tree "
+              "height --\n");
+  std::printf("%-16s %16s %14s\n", "subtree inputs", "up-phase bytes",
+              "bytes * 2^h / N");
+  const double eps = 40.0;
+  const double quantum = 2.0;
+  std::vector<int64_t> bytes_by_fan;
+  for (int64_t fan : {8, 32, 128, 512}) {
+    const dwm::DmhsResult r =
+        dwm::DMinHaarSpace(data, {eps, quantum, fan}, cluster);
+    int64_t up_bytes = 0;
+    for (const auto& job : r.report.jobs) {
+      if (job.name.rfind("dmhs_up", 0) == 0) up_bytes += job.shuffle_bytes;
+    }
+    bytes_by_fan.push_back(up_bytes);
+    std::printf("%-16lld %16lld %14.2f\n", static_cast<long long>(fan),
+                static_cast<long long>(up_bytes),
+                static_cast<double>(up_bytes) * static_cast<double>(fan) /
+                    static_cast<double>(n));
+  }
+  // Equation 6 predicts ~1/fan scaling of the boundary-row traffic.
+  const double ratio = static_cast<double>(bytes_by_fan.front()) /
+                       static_cast<double>(bytes_by_fan.back());
+  dwm::bench::PrintShapeCheck(
+      ratio > 16.0,
+      "64x larger sub-trees cut boundary-row bytes by >16x (Eq. 6 ~64x)");
+  return 0;
+}

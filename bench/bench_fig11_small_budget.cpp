@@ -1,0 +1,55 @@
+// Figure 11: conventional synopsis on NYCT with a fixed tiny budget
+// (B = 50). Paper finding: H-WTopk's TPUT pruning finally pays off — it
+// dominates the other approaches once the dataset is large enough that the
+// three-job overhead is amortized, because its traffic scales with B
+// rather than N.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "data/generators.h"
+#include "dist/dcon.h"
+#include "dist/hwtopk.h"
+#include "dist/send_coef.h"
+#include "dist/send_v.h"
+
+int main() {
+  dwm::bench::PrintHeader(
+      "bench_fig11_small_budget",
+      "Figure 11 (NYCT, fixed B = 50)",
+      "H-WTopk traffic collapses at tiny B; becomes competitive/dominant at "
+      "large N");
+  const auto cluster = dwm::bench::PaperCluster(20, 1);
+  const int log2_max = 20 + dwm::bench::ScaleShift();
+  const int64_t budget = 50;
+
+  std::printf("%-10s %10s %10s %12s %10s | %14s %14s\n", "N", "CON(s)",
+              "SendV(s)", "SendCoef(s)", "HWTopk(s)", "CON bytes",
+              "HWTopk bytes");
+  int64_t con_bytes_max = 0;
+  int64_t hw_bytes_max = 0;
+  for (int lg = log2_max - 2; lg <= log2_max; ++lg) {
+    const int64_t n = int64_t{1} << lg;
+    const auto data = dwm::MakeNyctLike(n, 2);
+    const int64_t subtree = std::min<int64_t>(n / 4, int64_t{1} << 16);
+    const auto con = dwm::RunCon(data, budget, subtree, cluster);
+    const auto send_v = dwm::RunSendV(data, budget, 20, cluster);
+    const auto send_coef = dwm::RunSendCoef(data, budget, 20, cluster);
+    const auto hwtopk = dwm::RunHWTopk(data, budget, 20, cluster);
+    std::printf("2^%-8d %10.1f %10.1f %12.1f %10.1f | %14lld %14lld\n", lg,
+                con.report.total_sim_seconds(),
+                send_v.report.total_sim_seconds(),
+                send_coef.report.total_sim_seconds(),
+                hwtopk.report.total_sim_seconds(),
+                static_cast<long long>(con.report.total_shuffle_bytes()),
+                static_cast<long long>(hwtopk.report.total_shuffle_bytes()));
+    if (lg == log2_max) {
+      con_bytes_max = con.report.total_shuffle_bytes();
+      hw_bytes_max = hwtopk.report.total_shuffle_bytes();
+    }
+  }
+  dwm::bench::PrintShapeCheck(
+      hw_bytes_max < con_bytes_max / 4,
+      "H-WTopk ships a fraction of CON's bytes at B = 50 (the Figure 11 "
+      "crossover driver)");
+  return 0;
+}

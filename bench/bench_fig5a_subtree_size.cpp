@@ -1,0 +1,71 @@
+// Figure 5a: running time vs sub-tree size for DGreedyAbs and
+// DIndirectHaar (SYN uniform [0, 1K], B = N/8). The paper varies sub-trees
+// from 131K to 1M nodes at N = 17M and finds the size barely matters
+// (Section 5.3's complexity analysis / Equation 9); we sweep the same
+// 8x range relative to a scaled-down N.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "data/generators.h"
+#include "dist/dgreedy.h"
+#include "dist/dindirect_haar.h"
+
+int main() {
+  dwm::bench::PrintHeader(
+      "bench_fig5a_subtree_size",
+      "Figure 5a (runtime vs sub-tree size, SYN uniform, B = N/8)",
+      "both algorithms roughly flat across an 8x sub-tree-size range");
+  const int64_t n = dwm::bench::ScaledN(19);
+  const int64_t budget = n / 8;
+  const auto data = dwm::MakeUniform(n, 1000.0, /*seed=*/1);
+  const auto cluster = dwm::bench::PaperCluster();
+
+  std::printf("N = %lld, B = N/8 = %lld, delta = 50\n\n",
+              static_cast<long long>(n), static_cast<long long>(budget));
+  std::printf("%-14s %-22s %-22s\n", "subtree", "DGreedyAbs sim (s)",
+              "DIndirectHaar sim (s)");
+
+  std::vector<double> greedy_times;
+  std::vector<double> dp_times;
+  for (int shift = 6; shift >= 3; --shift) {  // n/64 .. n/8 leaves/sub-tree
+    const int64_t subtree_leaves = n >> shift;
+    dwm::DGreedyOptions greedy_options;
+    greedy_options.budget = budget;
+    greedy_options.base_leaves = subtree_leaves;
+    greedy_options.bucket_width = 0.01;
+    const dwm::DGreedyResult greedy =
+        dwm::DGreedyAbs(data, greedy_options, cluster);
+
+    dwm::DIndirectHaarOptions dp_options;
+    dp_options.budget = budget;
+    dp_options.quantum = 50.0;
+    dp_options.subtree_inputs = subtree_leaves / 2;
+    const dwm::DIndirectHaarResult dp =
+        dwm::DIndirectHaar(data, dp_options, cluster);
+
+    greedy_times.push_back(greedy.report.total_sim_seconds());
+    dp_times.push_back(dp.report.total_sim_seconds());
+    std::printf("%-14lld %-22.1f %-22.1f%s\n",
+                static_cast<long long>(subtree_leaves),
+                greedy_times.back(), dp_times.back(),
+                dp.search.converged ? "" : "  (search failed)");
+  }
+
+  auto spread = [](const std::vector<double>& v) {
+    double lo = v[0];
+    double hi = v[0];
+    for (double x : v) {
+      lo = std::min(lo, x);
+      hi = std::max(hi, x);
+    }
+    return hi / lo;
+  };
+  dwm::bench::PrintShapeCheck(
+      spread(greedy_times) < 2.0,
+      "DGreedyAbs within 2x across sub-tree sizes (paper: flat)");
+  dwm::bench::PrintShapeCheck(
+      spread(dp_times) < 2.5,
+      "DIndirectHaar within 2.5x across sub-tree sizes (paper: flat)");
+  return 0;
+}

@@ -1,0 +1,114 @@
+// google-benchmark microbenchmarks for the core kernels: the Haar
+// transform, reconstruction queries, the greedy discard loops, the
+// MinHaarSpace DP primitives, and the envelope operations behind GreedyRel.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/conventional.h"
+#include "core/envelope.h"
+#include "core/greedy_abs.h"
+#include "core/greedy_rel.h"
+#include "core/min_haar_space.h"
+#include "data/generators.h"
+#include "wavelet/haar.h"
+#include "wavelet/synopsis.h"
+
+namespace {
+
+std::vector<double> Data(int64_t n) { return dwm::MakeUniform(n, 1000.0, 1); }
+
+void BM_ForwardHaar(benchmark::State& state) {
+  const auto data = Data(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dwm::ForwardHaar(data));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ForwardHaar)->Range(1 << 10, 1 << 20);
+
+void BM_InverseHaar(benchmark::State& state) {
+  const auto coeffs = dwm::ForwardHaar(Data(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dwm::InverseHaar(coeffs));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_InverseHaar)->Range(1 << 10, 1 << 20);
+
+void BM_ConventionalThreshold(benchmark::State& state) {
+  const auto coeffs = dwm::ForwardHaar(Data(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dwm::ConventionalFromCoeffs(coeffs, state.range(0) / 8));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ConventionalThreshold)->Range(1 << 10, 1 << 20);
+
+void BM_GreedyAbs(benchmark::State& state) {
+  const auto data = Data(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dwm::GreedyAbs(data, state.range(0) / 8));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GreedyAbs)->Range(1 << 10, 1 << 16);
+
+void BM_GreedyRel(benchmark::State& state) {
+  const auto data = Data(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dwm::GreedyRel(data, state.range(0) / 8, 1.0));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GreedyRel)->Range(1 << 10, 1 << 14);
+
+void BM_MinHaarSpace(benchmark::State& state) {
+  const auto data = Data(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dwm::MinHaarSpace(data, {50.0, 5.0}));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MinHaarSpace)->Range(1 << 10, 1 << 16);
+
+void BM_PointEstimate(benchmark::State& state) {
+  const int64_t n = 1 << 20;
+  const dwm::Synopsis synopsis =
+      dwm::ConventionalSynopsis(Data(n), n / 64);
+  int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synopsis.PointEstimate(i));
+    i = (i + 997) & (n - 1);
+  }
+}
+BENCHMARK(BM_PointEstimate);
+
+void BM_RangeSum(benchmark::State& state) {
+  const int64_t n = 1 << 20;
+  const dwm::Synopsis synopsis =
+      dwm::ConventionalSynopsis(Data(n), n / 64);
+  int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synopsis.RangeSum(i, i + (n >> 2)));
+    i = (i + 997) & ((n >> 1) - 1);
+  }
+}
+BENCHMARK(BM_RangeSum);
+
+void BM_EnvelopeMerge(benchmark::State& state) {
+  dwm::Rng rng(3);
+  std::vector<dwm::Line> la, lb;
+  for (int i = 0; i < state.range(0); ++i) {
+    la.push_back({rng.NextDouble() * 2 - 1, rng.NextDouble() * 8 - 4});
+    lb.push_back({rng.NextDouble() * 2 - 1, rng.NextDouble() * 8 - 4});
+  }
+  const auto ea = dwm::UpperEnvelope::FromLines(la);
+  const auto eb = dwm::UpperEnvelope::FromLines(lb);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dwm::UpperEnvelope::Merge(ea, 0.5, eb, -0.5));
+  }
+}
+BENCHMARK(BM_EnvelopeMerge)->Range(16, 4096);
+
+}  // namespace

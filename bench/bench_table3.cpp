@@ -1,0 +1,59 @@
+// Table 3: characteristics of the NYCT and WD datasets. Our synthetic
+// stand-ins (see DESIGN.md, substitutions) should match the reported
+// moments in order of magnitude: that is what drives the DP compute
+// intensity ((eps/delta)^2) in Figures 8 and 9.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "data/generators.h"
+
+namespace {
+
+struct PaperRow {
+  const char* name;
+  int log2n;
+  double avg, stdev, max;
+};
+
+// Paper sizes are in decimal millions; we use the nearest power of two.
+const PaperRow kNyct[] = {
+    {"NYCT2M", 21, 672, 483, 10800},      {"NYCT4M", 22, 511, 519.5, 10800},
+    {"NYCT8M", 23, 255, 646.6, 10800},    {"NYCT16M", 24, 127, 745, 10800},
+};
+const PaperRow kWd[] = {
+    {"WD2M", 21, 121, 119.7, 655},
+    {"WD4M", 22, 122, 119.9, 655},
+};
+
+}  // namespace
+
+int main() {
+  using dwm::bench::ScaleShift;
+  dwm::bench::PrintHeader(
+      "bench_table3", "Table 3 (NYCT / WD dataset characteristics)",
+      "generated moments in the same order of magnitude as the paper rows");
+  std::printf("%-10s %10s | %8s %8s %9s | %8s %8s %9s\n", "name", "#records",
+              "avg", "stdev", "max", "p.avg", "p.stdev", "p.max");
+  auto show = [](const PaperRow& row) {
+    const int64_t n = int64_t{1} << (row.log2n + ScaleShift());
+    const auto data = std::string(row.name).rfind("NYCT", 0) == 0
+                          ? dwm::MakeNyctLike(n, 1)
+                          : dwm::MakeWdLike(n, 1);
+    const dwm::DataStats s = dwm::ComputeStats(data);
+    std::printf("%-10s %10lld | %8.1f %8.1f %9.0f | %8.1f %8.1f %9.0f\n",
+                row.name, static_cast<long long>(n), s.avg, s.stdev, s.max,
+                row.avg, row.stdev, row.max);
+    return s;
+  };
+  double prev_avg = 1e18;
+  bool avg_falls = true;
+  for (const PaperRow& row : kNyct) {
+    const dwm::DataStats s = show(row);
+    avg_falls = avg_falls && s.avg < prev_avg + 1.0;
+    prev_avg = s.avg;
+  }
+  for (const PaperRow& row : kWd) show(row);
+  dwm::bench::PrintShapeCheck(avg_falls,
+                              "NYCT average falls as partitions grow");
+  return 0;
+}

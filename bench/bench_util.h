@@ -1,0 +1,71 @@
+// Shared helpers for the experiment-reproduction harnesses (one binary per
+// paper table/figure; see DESIGN.md section 4 for the index).
+//
+// Environment knobs:
+//   DWM_SCALE  integer added to every log2 dataset size (default 0). The
+//              paper runs up to 537M points; the defaults here are sized for
+//              a single-core sandbox, and the *shapes* are size-invariant.
+#ifndef DWMAXERR_BENCH_BENCH_UTIL_H_
+#define DWMAXERR_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/stopwatch.h"
+#include "mr/cluster.h"
+
+namespace dwm::bench {
+
+inline int ScaleShift() {
+  const char* env = std::getenv("DWM_SCALE");
+  return env == nullptr ? 0 : std::atoi(env);
+}
+
+inline int64_t ScaledN(int log2_default) {
+  return int64_t{1} << (log2_default + ScaleShift());
+}
+
+// The paper's platform: 9 machines, 8 slaves x 5 map slots / x 2 reduce
+// slots, 2 GHz Xeons.
+inline mr::ClusterConfig PaperCluster(int map_slots = 40,
+                                      int reduce_slots = 16) {
+  mr::ClusterConfig config;
+  config.map_slots = map_slots;
+  config.reduce_slots = reduce_slots;
+  config.task_startup_seconds = 1.0;
+  config.job_overhead_seconds = 6.0;
+  config.network_bytes_per_second = 100.0e6;
+  config.storage_bytes_per_second = 400.0e6;
+  // The paper's 2 GHz Xeon + JVM is slower than this native build.
+  config.compute_scale = 2.0;
+  return config;
+}
+
+inline void PrintHeader(const char* binary, const char* reproduces,
+                        const char* expectation) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", binary);
+  std::printf("reproduces : %s\n", reproduces);
+  std::printf("expect     : %s\n", expectation);
+  if (ScaleShift() != 0) {
+    std::printf("scale      : DWM_SCALE=%d (sizes shifted by 2^%d)\n",
+                ScaleShift(), ScaleShift());
+  }
+  std::printf("==============================================================\n");
+}
+
+inline void PrintShapeCheck(bool ok, const std::string& what) {
+  std::printf("[%s] %s\n", ok ? "SHAPE-OK" : "SHAPE-??", what.c_str());
+}
+
+template <typename Fn>
+double WallSeconds(Fn&& fn) {
+  Stopwatch clock;
+  fn();
+  return clock.ElapsedSeconds();
+}
+
+}  // namespace dwm::bench
+
+#endif  // DWMAXERR_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,52 @@
+// Explores the duality between Problem 1 (budget -> best error) and
+// Problem 2 (error bound -> smallest synopsis) that IndirectHaar exploits
+// (Section 4): sweeps an error bound through MinHaarSpace and then inverts a
+// budget through IndirectHaar, printing both sides of the trade-off curve.
+//
+//   build/examples/error_budget_explorer
+#include <cstdio>
+
+#include "core/greedy_abs.h"
+#include "core/indirect_haar.h"
+#include "core/min_haar_space.h"
+#include "data/generators.h"
+#include "wavelet/metrics.h"
+
+int main() {
+  const int64_t n = 1 << 13;
+  const std::vector<double> data = dwm::MakeZipf(n, 0.7, 1000, /*seed=*/3);
+  const double quantum = 4.0;  // delta
+
+  std::printf("== Problem 2: error bound -> minimum synopsis size ==\n");
+  std::printf("%-12s %-12s %-14s\n", "bound eps", "coeffs", "actual max_abs");
+  for (double eps : {5.0, 10.0, 20.0, 50.0, 100.0, 200.0}) {
+    const dwm::MhsResult r = dwm::MinHaarSpace(data, {eps, quantum});
+    if (!r.feasible) {
+      std::printf("%-12.1f (infeasible on this delta grid)\n", eps);
+      continue;
+    }
+    std::printf("%-12.1f %-12lld %-14.2f\n", eps,
+                static_cast<long long>(r.count), r.max_abs_error);
+  }
+
+  std::printf("\n== Problem 1: budget -> best error (IndirectHaar) ==\n");
+  std::printf("%-12s %-14s %-12s %-14s\n", "budget", "IndirectHaar",
+              "P2 runs", "GreedyAbs");
+  for (int64_t budget : {n / 64, n / 32, n / 16, n / 8}) {
+    const dwm::IndirectHaarResult r =
+        dwm::IndirectHaar(data, {budget, quantum, 60});
+    const dwm::GreedyAbsResult g = dwm::GreedyAbs(data, budget);
+    if (!r.converged) {
+      std::printf("%-12lld (did not converge)\n",
+                  static_cast<long long>(budget));
+      continue;
+    }
+    std::printf("%-12lld %-14.2f %-12d %-14.2f\n",
+                static_cast<long long>(budget), r.max_abs_error,
+                r.solver_runs, g.max_abs_error);
+  }
+  std::printf("\nIndirectHaar assigns *unrestricted* coefficient values, so "
+              "with a fine delta it\nmatches or beats the restricted greedy; "
+              "delta trades that quality for speed.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Quickstart: build a maximum-error wavelet synopsis of a noisy signal and
+// query it.
+//
+//   build/examples/quickstart
+//
+// Walks through the three basic steps of the library:
+//   1. pick a thresholding algorithm (GreedyAbs here),
+//   2. build a budget-constrained synopsis,
+//   3. reconstruct values / range sums and inspect error guarantees.
+#include <cstdio>
+
+#include "core/conventional.h"
+#include "core/greedy_abs.h"
+#include "data/generators.h"
+#include "wavelet/haar.h"
+#include "wavelet/metrics.h"
+#include "wavelet/synopsis.h"
+
+int main() {
+  // 64K noisy values in [0, 1000] with occasional spikes.
+  const int64_t n = 1 << 16;
+  std::vector<double> data = dwm::MakeUniform(n, 1000.0, /*seed=*/42);
+  for (int64_t i = 0; i < n; i += 4096) data[static_cast<size_t>(i)] *= 5.0;
+
+  // Keep 1/16 of the coefficients.
+  const int64_t budget = n / 16;
+  const dwm::GreedyAbsResult greedy = dwm::GreedyAbs(data, budget);
+  const dwm::Synopsis conventional = dwm::ConventionalSynopsis(data, budget);
+
+  std::printf("domain size           : %lld values\n",
+              static_cast<long long>(n));
+  std::printf("budget                : %lld coefficients\n",
+              static_cast<long long>(budget));
+  std::printf("GreedyAbs max_abs     : %.2f (deterministic guarantee)\n",
+              greedy.max_abs_error);
+  std::printf("Conventional max_abs  : %.2f (L2-optimal, no max guarantee)\n",
+              dwm::MaxAbsError(data, conventional));
+  std::printf("GreedyAbs L2          : %.2f\n",
+              dwm::L2Error(data, greedy.synopsis));
+  std::printf("Conventional L2       : %.2f\n\n",
+              dwm::L2Error(data, conventional));
+
+  // Point queries: log n + 1 coefficient lookups each.
+  std::printf("point queries (value ~ estimate):\n");
+  for (int64_t i : {int64_t{0}, int64_t{4096}, int64_t{40000}}) {
+    std::printf("  d[%6lld] = %8.2f ~ %8.2f\n", static_cast<long long>(i),
+                data[static_cast<size_t>(i)],
+                greedy.synopsis.PointEstimate(i));
+  }
+
+  // Range sums: 2 log n + 1 lookups regardless of the range width.
+  double exact = 0.0;
+  for (int64_t i = 1000; i <= 50000; ++i) exact += data[static_cast<size_t>(i)];
+  const double approx = greedy.synopsis.RangeSum(1000, 50000);
+  std::printf("\nrange sum d(1000:50000): exact %.0f ~ approx %.0f (%.3f%% off)\n",
+              exact, approx, 100.0 * std::abs(approx - exact) / exact);
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Small power-of-two / log2 helpers used throughout the error-tree algebra.
+#ifndef DWMAXERR_COMMON_BITS_H_
+#define DWMAXERR_COMMON_BITS_H_
+
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace dwm {
+
+inline bool IsPowerOfTwo(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+// floor(log2(x)); requires x >= 1.
+inline int Log2Floor(uint64_t x) {
+  DWM_CHECK_GE(x, 1u);
+  return 63 - __builtin_clzll(x);
+}
+
+// log2(x) for exact powers of two.
+inline int Log2Exact(uint64_t x) {
+  DWM_CHECK(IsPowerOfTwo(x));
+  return Log2Floor(x);
+}
+
+// Smallest power of two >= x (x >= 1).
+inline uint64_t NextPowerOfTwo(uint64_t x) {
+  DWM_CHECK_GE(x, 1u);
+  if (IsPowerOfTwo(x)) return x;
+  return uint64_t{1} << (Log2Floor(x) + 1);
+}
+
+}  // namespace dwm
+
+#endif  // DWMAXERR_COMMON_BITS_H_

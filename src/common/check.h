@@ -1,0 +1,33 @@
+// Internal invariant checking. DWM_CHECK* abort the process with a message;
+// they guard programmer errors, not user input (use Status for the latter).
+#ifndef DWMAXERR_COMMON_CHECK_H_
+#define DWMAXERR_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dwm::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace dwm::internal
+
+#define DWM_CHECK(expr)                                        \
+  do {                                                         \
+    if (!(expr)) {                                             \
+      ::dwm::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                          \
+  } while (0)
+
+#define DWM_CHECK_EQ(a, b) DWM_CHECK((a) == (b))
+#define DWM_CHECK_NE(a, b) DWM_CHECK((a) != (b))
+#define DWM_CHECK_LT(a, b) DWM_CHECK((a) < (b))
+#define DWM_CHECK_LE(a, b) DWM_CHECK((a) <= (b))
+#define DWM_CHECK_GT(a, b) DWM_CHECK((a) > (b))
+#define DWM_CHECK_GE(a, b) DWM_CHECK((a) >= (b))
+
+#endif  // DWMAXERR_COMMON_CHECK_H_

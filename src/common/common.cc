@@ -1,0 +1,16 @@
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace dwm {
+
+double Rng::NextGaussian() {
+  // Box-Muller; draws two uniforms per normal. u1 is kept away from zero.
+  double u1 = NextDouble();
+  while (u1 <= 1e-300) u1 = NextDouble();
+  const double u2 = NextDouble();
+  const double two_pi = 6.283185307179586;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(two_pi * u2);
+}
+
+}  // namespace dwm

@@ -1,0 +1,63 @@
+// Deterministic pseudo-random number generation (xoshiro256++).
+// All dataset generators use this so experiments are exactly reproducible.
+#ifndef DWMAXERR_COMMON_RNG_H_
+#define DWMAXERR_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace dwm {
+
+// xoshiro256++ by Blackman & Vigna (public domain reference implementation),
+// seeded through splitmix64 so that any 64-bit seed yields a good state.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t NextUint64() {
+    const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform integer in [0, bound); bound >= 1. Uses rejection to stay
+  // unbiased.
+  uint64_t NextBounded(uint64_t bound) {
+    const uint64_t threshold = -bound % bound;
+    for (;;) {
+      uint64_t r = NextUint64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  // Standard normal via Box-Muller (one value per call; simple over fast).
+  double NextGaussian();
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace dwm
+
+#endif  // DWMAXERR_COMMON_RNG_H_

@@ -1,0 +1,27 @@
+// Wall-clock stopwatch used to measure per-task compute time that feeds the
+// cluster cost model.
+#ifndef DWMAXERR_COMMON_STOPWATCH_H_
+#define DWMAXERR_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace dwm {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dwm
+
+#endif  // DWMAXERR_COMMON_STOPWATCH_H_

@@ -1,0 +1,23 @@
+// Conventional (L2-optimal) thresholding: retain the B coefficients with
+// the largest significance |c_i| / sqrt(2^level) (Section 2.3).
+#ifndef DWMAXERR_CORE_CONVENTIONAL_H_
+#define DWMAXERR_CORE_CONVENTIONAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "wavelet/synopsis.h"
+
+namespace dwm {
+
+// From a dense coefficient array (heap order). Zero-valued coefficients are
+// never retained; ties in significance break toward the smaller index.
+Synopsis ConventionalFromCoeffs(const std::vector<double>& coeffs,
+                                int64_t budget);
+
+// Convenience: transform `data` (size a power of two) and threshold.
+Synopsis ConventionalSynopsis(const std::vector<double>& data, int64_t budget);
+
+}  // namespace dwm
+
+#endif  // DWMAXERR_CORE_CONVENTIONAL_H_

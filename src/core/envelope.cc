@@ -1,0 +1,111 @@
+#include "core/envelope.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace dwm {
+namespace {
+
+// x-coordinate where line a stops dominating line b (slopes a < b).
+double IntersectX(const Line& a, const Line& b) {
+  return (a.intercept - b.intercept) / (b.slope - a.slope);
+}
+
+}  // namespace
+
+UpperEnvelope UpperEnvelope::BuildFromSorted(std::vector<Line> lines) {
+  // `lines` sorted by slope ascending with strictly increasing slopes
+  // (duplicates already reduced to the max intercept).
+  UpperEnvelope env;
+  for (const Line& line : lines) {
+    while (!env.hull_.empty()) {
+      const Line& back = env.hull_.back();
+      if (env.hull_.size() == 1) {
+        // Keep `back` unless dominated everywhere (equal slope handled
+        // before; different slopes always intersect).
+        break;
+      }
+      const Line& prev = env.hull_[env.hull_.size() - 2];
+      // `back` is useless if the new line already beats it where it took
+      // over from `prev`.
+      if (IntersectX(prev, line) <= IntersectX(prev, back)) {
+        env.hull_.pop_back();
+      } else {
+        break;
+      }
+    }
+    env.hull_.push_back(line);
+  }
+  env.breakpoint_.resize(env.hull_.size());
+  if (!env.hull_.empty()) {
+    env.breakpoint_[0] = -std::numeric_limits<double>::infinity();
+    for (size_t i = 1; i < env.hull_.size(); ++i) {
+      env.breakpoint_[i] = IntersectX(env.hull_[i - 1], env.hull_[i]);
+    }
+  }
+  return env;
+}
+
+UpperEnvelope UpperEnvelope::FromLines(std::vector<Line> lines) {
+  std::sort(lines.begin(), lines.end(), [](const Line& a, const Line& b) {
+    if (a.slope != b.slope) return a.slope < b.slope;
+    return a.intercept > b.intercept;
+  });
+  // Per slope keep only the highest intercept.
+  std::vector<Line> reduced;
+  reduced.reserve(lines.size());
+  for (const Line& line : lines) {
+    if (!reduced.empty() && reduced.back().slope == line.slope) continue;
+    reduced.push_back(line);
+  }
+  return BuildFromSorted(std::move(reduced));
+}
+
+UpperEnvelope UpperEnvelope::Merge(const UpperEnvelope& a, double shift_a,
+                                   const UpperEnvelope& b, double shift_b) {
+  // Shifting a line (s, i) right by d gives (s, i - s*d).
+  std::vector<Line> lines;
+  lines.reserve(a.hull_.size() + b.hull_.size());
+  size_t ia = 0;
+  size_t ib = 0;
+  auto shifted_a = [&] {
+    return Line{a.hull_[ia].slope,
+                a.hull_[ia].intercept - a.hull_[ia].slope * shift_a};
+  };
+  auto shifted_b = [&] {
+    return Line{b.hull_[ib].slope,
+                b.hull_[ib].intercept - b.hull_[ib].slope * shift_b};
+  };
+  while (ia < a.hull_.size() || ib < b.hull_.size()) {
+    Line next;
+    if (ib >= b.hull_.size() ||
+        (ia < a.hull_.size() && a.hull_[ia].slope <= b.hull_[ib].slope)) {
+      next = shifted_a();
+      ++ia;
+    } else {
+      next = shifted_b();
+      ++ib;
+    }
+    if (!lines.empty() && lines.back().slope == next.slope) {
+      lines.back().intercept = std::max(lines.back().intercept, next.intercept);
+    } else {
+      lines.push_back(next);
+    }
+  }
+  return BuildFromSorted(std::move(lines));
+}
+
+double UpperEnvelope::Evaluate(double t, double shift) const {
+  DWM_CHECK(!hull_.empty());
+  const double x = t - shift;
+  // Largest i with breakpoint_[i] <= x.
+  const auto it =
+      std::upper_bound(breakpoint_.begin(), breakpoint_.end(), x);
+  const size_t i = static_cast<size_t>(it - breakpoint_.begin()) - 1;
+  return hull_[i].slope * x + hull_[i].intercept;
+}
+
+}  // namespace dwm

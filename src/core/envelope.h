@@ -1,0 +1,52 @@
+// Upper envelope of lines (convex hull trick), used by GreedyRel to evaluate
+// the maximum potential relative error MR_k = max_j |err_j - t| / w_j
+// (Equation 10): each leaf contributes the V-function |err_j - t| / w_j,
+// i.e., two lines, and the maximum over leaves is the upper envelope.
+#ifndef DWMAXERR_CORE_ENVELOPE_H_
+#define DWMAXERR_CORE_ENVELOPE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dwm {
+
+struct Line {
+  double slope = 0.0;
+  double intercept = 0.0;
+};
+
+// Immutable upper envelope max_i (slope_i * t + intercept_i). A horizontal
+// pre-shift can be applied at query/merge time: Evaluate(t, shift) returns
+// the envelope of the *shifted* lines, i.e. the stored envelope at t - shift
+// (used for the lazy signed-error offsets of GreedyRel).
+class UpperEnvelope {
+ public:
+  UpperEnvelope() = default;
+
+  // Builds the hull of arbitrary lines.
+  static UpperEnvelope FromLines(std::vector<Line> lines);
+
+  // Hull of the union of two envelopes whose stored lines must first be
+  // shifted horizontally by shift_a / shift_b respectively.
+  static UpperEnvelope Merge(const UpperEnvelope& a, double shift_a,
+                             const UpperEnvelope& b, double shift_b);
+
+  bool empty() const { return hull_.empty(); }
+  int64_t size() const { return static_cast<int64_t>(hull_.size()); }
+
+  // Max over lines at t, after shifting the stored envelope right by
+  // `shift` (equivalently: stored envelope evaluated at t - shift).
+  double Evaluate(double t, double shift = 0.0) const;
+
+  const std::vector<Line>& hull() const { return hull_; }
+
+ private:
+  static UpperEnvelope BuildFromSorted(std::vector<Line> lines);
+
+  std::vector<Line> hull_;         // slopes strictly increasing
+  std::vector<double> breakpoint_;  // breakpoint_[i]: hull_[i] optimal after it
+};
+
+}  // namespace dwm
+
+#endif  // DWMAXERR_CORE_ENVELOPE_H_

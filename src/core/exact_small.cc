@@ -1,0 +1,86 @@
+#include "core/exact_small.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/bits.h"
+#include "common/check.h"
+#include "wavelet/error_tree.h"
+#include "wavelet/haar.h"
+
+namespace dwm {
+namespace {
+
+// Max |reconstruction - data| for the retained index set.
+double EvaluateMaxAbs(const std::vector<double>& data,
+                      const std::vector<double>& coeffs,
+                      const std::vector<int64_t>& retained) {
+  const int64_t n = static_cast<int64_t>(data.size());
+  std::vector<double> dense(static_cast<size_t>(n), 0.0);
+  for (int64_t i : retained) dense[static_cast<size_t>(i)] = coeffs[static_cast<size_t>(i)];
+  const std::vector<double> rec = InverseHaar(dense);
+  double max_abs = 0.0;
+  for (int64_t j = 0; j < n; ++j) {
+    max_abs = std::max(max_abs, std::abs(rec[static_cast<size_t>(j)] -
+                                         data[static_cast<size_t>(j)]));
+  }
+  return max_abs;
+}
+
+double CountCombinations(int64_t m, int64_t budget) {
+  double total = 0.0;
+  double c = 1.0;  // C(m, 0)
+  for (int64_t k = 0; k <= std::min(m, budget); ++k) {
+    total += c;
+    c = c * static_cast<double>(m - k) / static_cast<double>(k + 1);
+  }
+  return total;
+}
+
+}  // namespace
+
+ExactResult ExactOptimalRestricted(const std::vector<double>& data,
+                                   int64_t budget) {
+  const int64_t n = static_cast<int64_t>(data.size());
+  DWM_CHECK(IsPowerOfTwo(static_cast<uint64_t>(n)));
+  const std::vector<double> coeffs = ForwardHaar(data);
+  std::vector<int64_t> candidates;
+  for (int64_t i = 0; i < n; ++i) {
+    if (coeffs[static_cast<size_t>(i)] != 0.0) candidates.push_back(i);
+  }
+  const int64_t m = static_cast<int64_t>(candidates.size());
+  budget = std::clamp<int64_t>(budget, 0, m);
+  DWM_CHECK_LE(CountCombinations(m, budget), 5e6);
+
+  std::vector<int64_t> chosen;
+  std::vector<int64_t> best_set;
+  double best_error = std::numeric_limits<double>::infinity();
+  // Depth-first over subsets of `candidates` of size <= budget; every
+  // visited prefix is itself a candidate subset.
+  auto search = [&](auto&& self, int64_t next) -> void {
+    const double err = EvaluateMaxAbs(data, coeffs, chosen);
+    if (err < best_error) {
+      best_error = err;
+      best_set = chosen;
+    }
+    if (static_cast<int64_t>(chosen.size()) == budget) return;
+    for (int64_t t = next; t < m; ++t) {
+      chosen.push_back(candidates[static_cast<size_t>(t)]);
+      self(self, t + 1);
+      chosen.pop_back();
+    }
+  };
+  search(search, 0);
+
+  std::vector<Coefficient> retained;
+  for (int64_t i : best_set) {
+    retained.push_back({i, coeffs[static_cast<size_t>(i)]});
+  }
+  ExactResult result;
+  result.synopsis = Synopsis(n, std::move(retained));
+  result.max_abs_error = best_error;
+  return result;
+}
+
+}  // namespace dwm

@@ -1,0 +1,28 @@
+// Exhaustive-search oracle for tiny inputs: the optimal *restricted*
+// synopsis (coefficients keep their Haar values) under max_abs. Used by the
+// property tests to sandwich the greedy and DP algorithms.
+#ifndef DWMAXERR_CORE_EXACT_SMALL_H_
+#define DWMAXERR_CORE_EXACT_SMALL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "wavelet/synopsis.h"
+
+namespace dwm {
+
+struct ExactResult {
+  Synopsis synopsis;
+  double max_abs_error = 0.0;
+};
+
+// Enumerates every subset of at most `budget` nonzero coefficients
+// (retention is not monotone, so all sizes <= budget are tried). Intended
+// for n <= 16 and small budgets; aborts if the search space exceeds ~5M
+// candidates.
+ExactResult ExactOptimalRestricted(const std::vector<double>& data,
+                                   int64_t budget);
+
+}  // namespace dwm
+
+#endif  // DWMAXERR_CORE_EXACT_SMALL_H_

@@ -1,0 +1,208 @@
+#include "core/greedy_abs.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/bits.h"
+#include "common/check.h"
+#include "core/indexed_heap.h"
+#include "wavelet/haar.h"
+
+namespace dwm {
+
+GreedyAbsTree::GreedyAbsTree(std::vector<double> coeffs, bool has_average,
+                             double initial_error)
+    : num_leaves_(static_cast<int64_t>(coeffs.size())),
+      has_average_(has_average),
+      c_(std::move(coeffs)) {
+  DWM_CHECK(IsPowerOfTwo(static_cast<uint64_t>(num_leaves_)));
+  DWM_CHECK_GE(num_leaves_, 2);
+  // In the full decomposition err_j == initial_error for every leaf, so all
+  // four extrema of every node start at that value (Section 5.2).
+  st_.assign(static_cast<size_t>(num_leaves_),
+             NodeState{initial_error, initial_error, initial_error,
+                       initial_error});
+}
+
+double GreedyAbsTree::MaxPotentialError(int64_t slot) const {
+  const NodeState& s = st_[static_cast<size_t>(slot)];
+  const double c = c_[static_cast<size_t>(slot)];
+  if (slot == 0) {
+    // The average node has every leaf on its "left".
+    return std::max(std::abs(s.max_l - c), std::abs(s.min_l - c));
+  }
+  // Equation 8.
+  return std::max(std::max(std::abs(s.max_l - c), std::abs(s.min_l - c)),
+                  std::max(std::abs(s.max_r + c), std::abs(s.min_r + c)));
+}
+
+void GreedyAbsTree::ShiftSubtree(int64_t slot, double delta) {
+  // Shifts the stored extrema of every node in the subtree rooted at `slot`
+  // (all of its leaves move by the same signed amount).
+  if (slot >= num_leaves_) return;
+  NodeState& s = st_[static_cast<size_t>(slot)];
+  s.max_l += delta;
+  s.min_l += delta;
+  s.max_r += delta;
+  s.min_r += delta;
+  if (!IsBottom(slot)) {
+    ShiftSubtree(2 * slot, delta);
+    ShiftSubtree(2 * slot + 1, delta);
+  }
+}
+
+void GreedyAbsTree::ReaggregateAncestors(int64_t slot) {
+  for (int64_t a = slot / 2; a >= 1; a /= 2) {
+    const NodeState& left = st_[static_cast<size_t>(2 * a)];
+    const NodeState& right = st_[static_cast<size_t>(2 * a + 1)];
+    NodeState& s = st_[static_cast<size_t>(a)];
+    s.max_l = std::max(left.max_l, left.max_r);
+    s.min_l = std::min(left.min_l, left.min_r);
+    s.max_r = std::max(right.max_l, right.max_r);
+    s.min_r = std::min(right.min_l, right.min_r);
+  }
+  if (has_average_) {
+    const NodeState& top = st_[1];
+    NodeState& s = st_[0];
+    s.max_l = std::max(top.max_l, top.max_r);
+    s.min_l = std::min(top.min_l, top.min_r);
+    s.max_r = s.max_l;
+    s.min_r = s.min_l;
+  }
+}
+
+void GreedyAbsTree::Discard(int64_t slot) {
+  const double c = c_[static_cast<size_t>(slot)];
+  NodeState& s = st_[static_cast<size_t>(slot)];
+  if (slot == 0) {
+    // Every leaf loses +c_0: errs shift by -c_0 everywhere.
+    ShiftSubtree(1, -c);
+    s.max_l -= c;
+    s.min_l -= c;
+    s.max_r = s.max_l;
+    s.min_r = s.min_l;
+    return;
+  }
+  if (!IsBottom(slot)) {
+    ShiftSubtree(2 * slot, -c);
+    ShiftSubtree(2 * slot + 1, +c);
+  }
+  s.max_l -= c;
+  s.min_l -= c;
+  s.max_r += c;
+  s.min_r += c;
+  ReaggregateAncestors(slot);
+}
+
+double GreedyAbsTree::CurrentMaxError() const {
+  if (has_average_) {
+    const NodeState& s = st_[0];
+    return std::max(std::abs(s.max_l), std::abs(s.min_l));
+  }
+  const NodeState& s = st_[1];
+  return std::max(std::max(std::abs(s.max_l), std::abs(s.min_l)),
+                  std::max(std::abs(s.max_r), std::abs(s.min_r)));
+}
+
+std::vector<HeapDiscardEvent> GreedyAbsTree::Run() {
+  const int64_t first = has_average_ ? 0 : 1;
+  IndexedMinHeap heap(num_leaves_);
+  for (int64_t slot = first; slot < num_leaves_; ++slot) {
+    heap.Insert(slot, MaxPotentialError(slot));
+  }
+  std::vector<HeapDiscardEvent> events;
+  events.reserve(static_cast<size_t>(num_leaves_ - first));
+
+  // Refreshes the key of an alive node after its extrema changed.
+  auto refresh = [&](int64_t slot) {
+    if (heap.Contains(slot)) heap.Update(slot, MaxPotentialError(slot));
+  };
+  auto refresh_subtree = [&](auto&& self, int64_t slot) -> void {
+    if (slot >= num_leaves_) return;
+    refresh(slot);
+    if (!IsBottom(slot)) {
+      self(self, 2 * slot);
+      self(self, 2 * slot + 1);
+    }
+  };
+
+  while (!heap.empty()) {
+    const auto [slot, key] = heap.Top();
+    (void)key;
+    heap.Pop();
+    Discard(slot);
+    // MA values of all descendants and ancestors may have changed.
+    if (slot == 0) {
+      refresh_subtree(refresh_subtree, 1);
+    } else {
+      if (!IsBottom(slot)) {
+        refresh_subtree(refresh_subtree, 2 * slot);
+        refresh_subtree(refresh_subtree, 2 * slot + 1);
+      }
+      for (int64_t a = slot / 2; a >= 1; a /= 2) refresh(a);
+      if (has_average_) refresh(0);
+    }
+    events.push_back({slot, CurrentMaxError()});
+  }
+  return events;
+}
+
+GreedyAbsResult GreedyAbsFromCoeffs(const std::vector<double>& coeffs,
+                                    int64_t budget) {
+  const int64_t n = static_cast<int64_t>(coeffs.size());
+  DWM_CHECK(IsPowerOfTwo(static_cast<uint64_t>(n)));
+  budget = std::clamp<int64_t>(budget, 0, n);
+  if (n == 1) {
+    GreedyAbsResult result;
+    if (budget >= 1 && coeffs[0] != 0.0) {
+      result.synopsis = Synopsis(1, {{0, coeffs[0]}});
+      result.max_abs_error = 0.0;
+    } else {
+      result.synopsis = Synopsis(1, {});
+      result.max_abs_error = std::abs(coeffs[0]);
+    }
+    return result;
+  }
+
+  GreedyAbsTree tree(coeffs, /*has_average=*/true, /*initial_error=*/0.0);
+  const std::vector<HeapDiscardEvent> events = tree.Run();
+  DWM_CHECK_EQ(static_cast<int64_t>(events.size()), n);
+
+  // The error is not monotone in the number of removals: evaluate every
+  // prefix that leaves at most `budget` coefficients and keep the best
+  // (smallest error; among ties, the smaller synopsis).
+  double best_error = std::numeric_limits<double>::infinity();
+  int64_t best_m = 0;
+  for (int64_t m = 0; m <= budget; ++m) {
+    const double err =
+        (m == n) ? 0.0 : events[static_cast<size_t>(n - m - 1)].error;
+    if (err < best_error) {
+      best_error = err;
+      best_m = m;
+    }
+  }
+
+  std::vector<char> discarded(static_cast<size_t>(n), 0);
+  for (int64_t t = 0; t < n - best_m; ++t) {
+    discarded[static_cast<size_t>(events[static_cast<size_t>(t)].slot)] = 1;
+  }
+  std::vector<Coefficient> retained;
+  retained.reserve(static_cast<size_t>(best_m));
+  for (int64_t i = 0; i < n; ++i) {
+    if (!discarded[static_cast<size_t>(i)] &&
+        coeffs[static_cast<size_t>(i)] != 0.0) {
+      retained.push_back({i, coeffs[static_cast<size_t>(i)]});
+    }
+  }
+  GreedyAbsResult result;
+  result.synopsis = Synopsis(n, std::move(retained));
+  result.max_abs_error = best_error;
+  return result;
+}
+
+GreedyAbsResult GreedyAbs(const std::vector<double>& data, int64_t budget) {
+  return GreedyAbsFromCoeffs(ForwardHaar(data), budget);
+}
+
+}  // namespace dwm

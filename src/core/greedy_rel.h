@@ -1,0 +1,64 @@
+// GreedyRel (Karras & Mamoulis, VLDB'05; Section 5.4 of the paper): greedy
+// thresholding for the maximum *relative* error metric with sanity bound S.
+//
+// The four signed-error extrema of GreedyAbs cannot drive MR_k (Equation
+// 10): the denominator max(|d_j|, S) differs per leaf. Instead each node
+// maintains, per subtree side, the convex upper envelope of the V-functions
+// f_j(t) = |err_j - t| / w_j over its leaves (w_j = max(|d_j|, S)), with a
+// lazy horizontal offset standing in for uniform err shifts. MR_k is the
+// envelope evaluated at t = c_k (left side) and t = -c_k (right side).
+// Ancestor envelopes are rebuilt by linear hull merges after each discard.
+#ifndef DWMAXERR_CORE_GREEDY_REL_H_
+#define DWMAXERR_CORE_GREEDY_REL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/envelope.h"
+#include "core/greedy_abs.h"  // HeapDiscardEvent
+#include "wavelet/synopsis.h"
+
+namespace dwm {
+
+// Discard loop over one error (sub)tree, mirroring GreedyAbsTree (see
+// greedy_abs.h for the heap-order / has_average conventions).
+// `leaf_weights` are the denominators w_j = max(|d_j|, sanity), one per
+// leaf; all must be > 0. Event errors are running max *relative* errors.
+class GreedyRelTree {
+ public:
+  GreedyRelTree(std::vector<double> coeffs, bool has_average,
+                double initial_error, std::vector<double> leaf_weights);
+
+  std::vector<HeapDiscardEvent> Run();
+
+ private:
+  struct NodeState {
+    UpperEnvelope env_l, env_r;
+    double off_l = 0.0, off_r = 0.0;  // lazy horizontal offsets
+  };
+
+  double MaxPotentialError(int64_t slot) const;
+  void AddOffsetSubtree(int64_t slot, double delta);
+  void RebuildAncestors(int64_t slot);
+  double CurrentMaxError() const;
+  bool IsBottom(int64_t slot) const { return slot >= num_leaves_ / 2; }
+
+  int64_t num_leaves_;
+  bool has_average_;
+  std::vector<double> c_;
+  std::vector<NodeState> st_;
+};
+
+struct GreedyRelResult {
+  Synopsis synopsis;
+  double max_rel_error = 0.0;
+};
+
+// Centralized GreedyRel: best synopsis (<= budget coefficients) among the
+// greedy discard prefixes, by maximum relative error with sanity bound.
+GreedyRelResult GreedyRel(const std::vector<double>& data, int64_t budget,
+                          double sanity);
+
+}  // namespace dwm
+
+#endif  // DWMAXERR_CORE_GREEDY_REL_H_

@@ -1,0 +1,116 @@
+// Indexed binary min-heap with decrease/increase-key, used by the greedy
+// thresholding algorithms to pick the coefficient with the smallest maximum
+// potential error. Ties break on the smaller id so runs are deterministic.
+#ifndef DWMAXERR_CORE_INDEXED_HEAP_H_
+#define DWMAXERR_CORE_INDEXED_HEAP_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace dwm {
+
+class IndexedMinHeap {
+ public:
+  explicit IndexedMinHeap(int64_t capacity)
+      : keys_(static_cast<size_t>(capacity)),
+        pos_(static_cast<size_t>(capacity), kAbsent) {}
+
+  bool empty() const { return heap_.empty(); }
+  int64_t size() const { return static_cast<int64_t>(heap_.size()); }
+  bool Contains(int64_t id) const { return pos_[static_cast<size_t>(id)] != kAbsent; }
+
+  void Insert(int64_t id, double key) {
+    DWM_CHECK(!Contains(id));
+    keys_[static_cast<size_t>(id)] = key;
+    pos_[static_cast<size_t>(id)] = static_cast<int64_t>(heap_.size());
+    heap_.push_back(id);
+    SiftUp(static_cast<int64_t>(heap_.size()) - 1);
+  }
+
+  // Changes the key of an existing element (either direction).
+  void Update(int64_t id, double key) {
+    DWM_CHECK(Contains(id));
+    keys_[static_cast<size_t>(id)] = key;
+    const int64_t i = pos_[static_cast<size_t>(id)];
+    SiftUp(i);
+    SiftDown(pos_[static_cast<size_t>(id)]);
+  }
+
+  void Remove(int64_t id) {
+    DWM_CHECK(Contains(id));
+    const int64_t i = pos_[static_cast<size_t>(id)];
+    SwapAt(i, static_cast<int64_t>(heap_.size()) - 1);
+    heap_.pop_back();
+    pos_[static_cast<size_t>(id)] = kAbsent;
+    if (i < static_cast<int64_t>(heap_.size())) {
+      SiftUp(i);
+      SiftDown(pos_[static_cast<size_t>(heap_[static_cast<size_t>(i)])]);
+    }
+  }
+
+  std::pair<int64_t, double> Top() const {
+    DWM_CHECK(!heap_.empty());
+    return {heap_[0], keys_[static_cast<size_t>(heap_[0])]};
+  }
+
+  void Pop() {
+    DWM_CHECK(!heap_.empty());
+    Remove(heap_[0]);
+  }
+
+ private:
+  static constexpr int64_t kAbsent = -1;
+
+  bool Less(int64_t a, int64_t b) const {
+    const double ka = keys_[static_cast<size_t>(a)];
+    const double kb = keys_[static_cast<size_t>(b)];
+    if (ka != kb) return ka < kb;
+    return a < b;
+  }
+
+  void SwapAt(int64_t i, int64_t j) {
+    std::swap(heap_[static_cast<size_t>(i)], heap_[static_cast<size_t>(j)]);
+    pos_[static_cast<size_t>(heap_[static_cast<size_t>(i)])] = i;
+    pos_[static_cast<size_t>(heap_[static_cast<size_t>(j)])] = j;
+  }
+
+  void SiftUp(int64_t i) {
+    while (i > 0) {
+      const int64_t parent = (i - 1) / 2;
+      if (!Less(heap_[static_cast<size_t>(i)],
+                heap_[static_cast<size_t>(parent)])) {
+        break;
+      }
+      SwapAt(i, parent);
+      i = parent;
+    }
+  }
+
+  void SiftDown(int64_t i) {
+    const int64_t n = static_cast<int64_t>(heap_.size());
+    for (;;) {
+      int64_t best = i;
+      for (int64_t child = 2 * i + 1; child <= 2 * i + 2 && child < n;
+           ++child) {
+        if (Less(heap_[static_cast<size_t>(child)],
+                 heap_[static_cast<size_t>(best)])) {
+          best = child;
+        }
+      }
+      if (best == i) break;
+      SwapAt(i, best);
+      i = best;
+    }
+  }
+
+  std::vector<double> keys_;
+  std::vector<int64_t> pos_;
+  std::vector<int64_t> heap_;
+};
+
+}  // namespace dwm
+
+#endif  // DWMAXERR_CORE_INDEXED_HEAP_H_

@@ -1,0 +1,268 @@
+#include "core/min_haar_space.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "common/bits.h"
+#include "common/check.h"
+#include "wavelet/error_tree.h"
+
+namespace dwm {
+namespace mhs {
+namespace {
+
+// Grid index helpers with a small tolerance so that window endpoints landing
+// (up to fp noise) on a grid point are included; per-cell feasibility is
+// re-checked exactly, so the tolerance can only widen rows by dead cells.
+int64_t GridCeil(double x, double quantum) {
+  return static_cast<int64_t>(std::ceil(x / quantum - 1e-9));
+}
+int64_t GridFloor(double x, double quantum) {
+  return static_cast<int64_t>(std::floor(x / quantum + 1e-9));
+}
+
+// floor/ceil of x/2 for possibly negative x.
+int64_t FloorHalf(int64_t x) { return x >> 1; }
+int64_t CeilHalf(int64_t x) { return -((-x) >> 1); }
+
+}  // namespace
+
+void Row::Trim() {
+  size_t begin = 0;
+  size_t end = cells.size();
+  while (begin < end && !cells[begin].feasible()) ++begin;
+  while (end > begin && !cells[end - 1].feasible()) --end;
+  if (begin == end) {
+    cells.clear();
+    lo = 0;
+    return;
+  }
+  if (begin > 0 || end < cells.size()) {
+    cells = std::vector<Cell>(cells.begin() + static_cast<int64_t>(begin),
+                              cells.begin() + static_cast<int64_t>(end));
+    lo += static_cast<int64_t>(begin);
+  }
+}
+
+Row PairRow(double a, double b, double eps, double quantum) {
+  DWM_CHECK_GE(eps, 0.0);
+  DWM_CHECK_GT(quantum, 0.0);
+  const double avg = (a + b) / 2.0;
+  Row row;
+  row.lo = GridCeil(avg - eps, quantum);
+  const int64_t hi = GridFloor(avg + eps, quantum);
+  if (row.lo > hi) return Row{};
+  row.cells.resize(static_cast<size_t>(hi - row.lo + 1));
+  for (int64_t g = row.lo; g <= hi; ++g) {
+    const double v = static_cast<double>(g) * quantum;
+    Cell& cell = row.cells[static_cast<size_t>(g - row.lo)];
+    const double direct = std::max(std::abs(v - a), std::abs(v - b));
+    const double corrected = std::abs(v - avg);
+    if (direct <= eps) {
+      cell = {0, direct};
+    } else if (corrected <= eps) {
+      cell = {1, corrected};
+    }
+  }
+  row.Trim();
+  return row;
+}
+
+Choice BestChoice(const Row& left, const Row& right, int64_t v) {
+  Choice best;
+  if (!left.feasible() || !right.feasible()) return best;
+  // z = 0: the coefficient is dropped, both children inherit v.
+  if (const Cell* cl = left.Find(v)) {
+    if (const Cell* cr = right.Find(v)) {
+      if (cl->feasible() && cr->feasible()) {
+        best.cell = {cl->count + cr->count, std::max(cl->err, cr->err)};
+        best.z_grid = 0;
+      }
+    }
+  }
+  // z != 0: retain the coefficient with value z = (a - v) * quantum; the
+  // right child then receives b = v - z = 2v - a.
+  for (int64_t a = left.lo; a <= left.hi(); ++a) {
+    const Cell& cl = left.cells[static_cast<size_t>(a - left.lo)];
+    if (!cl.feasible()) continue;
+    const Cell* cr = right.Find(2 * v - a);
+    if (cr == nullptr || !cr->feasible()) continue;
+    const Cell cand{1 + cl.count + cr->count, std::max(cl.err, cr->err)};
+    if (cand.Better(best.cell)) {
+      best.cell = cand;
+      best.z_grid = a - v;
+    }
+  }
+  return best;
+}
+
+Row CombineRows(const Row& left, const Row& right) {
+  if (!left.feasible() || !right.feasible()) return Row{};
+  Row row;
+  row.lo = CeilHalf(left.lo + right.lo);
+  const int64_t hi = FloorHalf(left.hi() + right.hi());
+  if (row.lo > hi) return Row{};
+  row.cells.resize(static_cast<size_t>(hi - row.lo + 1));
+  for (int64_t v = row.lo; v <= hi; ++v) {
+    row.cells[static_cast<size_t>(v - row.lo)] = BestChoice(left, right, v).cell;
+  }
+  row.Trim();
+  return row;
+}
+
+std::vector<Row> BuildSubtreeRows(std::vector<Row> inputs) {
+  const int64_t width = static_cast<int64_t>(inputs.size());
+  DWM_CHECK(IsPowerOfTwo(static_cast<uint64_t>(width)));
+  std::vector<Row> rows(static_cast<size_t>(2 * width));
+  for (int64_t t = 0; t < width; ++t) {
+    rows[static_cast<size_t>(width + t)] = std::move(inputs[static_cast<size_t>(t)]);
+  }
+  for (int64_t s = width - 1; s >= 1; --s) {
+    rows[static_cast<size_t>(s)] = CombineRows(rows[static_cast<size_t>(2 * s)],
+                                               rows[static_cast<size_t>(2 * s + 1)]);
+  }
+  return rows;
+}
+
+Row ComputeRowOverData(const double* data, int64_t len, double eps,
+                       double quantum) {
+  DWM_CHECK_GE(len, 2);
+  if (len == 2) return PairRow(data[0], data[1], eps, quantum);
+  const Row left = ComputeRowOverData(data, len / 2, eps, quantum);
+  if (!left.feasible()) return Row{};
+  const Row right = ComputeRowOverData(data + len / 2, len / 2, eps, quantum);
+  return CombineRows(left, right);
+}
+
+void SelectInHeap(const std::vector<Row>& rows, int64_t root_global,
+                  double quantum, int64_t slot, int64_t v,
+                  std::vector<Coefficient>* out,
+                  const std::function<void(int64_t, int64_t)>& input_cb) {
+  const int64_t width = static_cast<int64_t>(rows.size()) / 2;
+  if (slot >= width) {
+    input_cb(slot - width, v);
+    return;
+  }
+  const Row& left = rows[static_cast<size_t>(2 * slot)];
+  const Row& right = rows[static_cast<size_t>(2 * slot + 1)];
+  const Choice choice = BestChoice(left, right, v);
+  DWM_CHECK(choice.cell.feasible());
+  if (choice.z_grid != 0) {
+    out->push_back({LocalToGlobal(root_global, slot),
+                    static_cast<double>(choice.z_grid) * quantum});
+  }
+  const int64_t vl = v + choice.z_grid;
+  const int64_t vr = v - choice.z_grid;
+  const Cell* cl = left.Find(vl);
+  const Cell* cr = right.Find(vr);
+  DWM_CHECK(cl != nullptr && cl->feasible());
+  DWM_CHECK(cr != nullptr && cr->feasible());
+  if (cl->count > 0) {
+    SelectInHeap(rows, root_global, quantum, 2 * slot, vl, out, input_cb);
+  }
+  if (cr->count > 0) {
+    SelectInHeap(rows, root_global, quantum, 2 * slot + 1, vr, out, input_cb);
+  }
+}
+
+}  // namespace mhs
+
+MhsResult MinHaarSpace(const std::vector<double>& data,
+                       const MhsOptions& options) {
+  const int64_t n = static_cast<int64_t>(data.size());
+  DWM_CHECK(IsPowerOfTwo(static_cast<uint64_t>(n)));
+  DWM_CHECK_GE(n, 2);
+  DWM_CHECK_GE(options.error_bound, 0.0);
+  DWM_CHECK_GT(options.quantum, 0.0);
+  const double eps = options.error_bound;
+  const double q = options.quantum;
+
+  // Chunk the bottom of the tree so that only O(sqrt(n)) boundary rows are
+  // ever materialized at once (the same two-phase scheme the distributed
+  // version runs across workers).
+  const int log_n = Log2Exact(static_cast<uint64_t>(n));
+  const int64_t chunk = int64_t{1} << (log_n + 1) / 2;  // K in [2, n]
+  const int64_t num_chunks = n / chunk;
+
+  std::vector<mhs::Row> chunk_rows(static_cast<size_t>(num_chunks));
+  for (int64_t t = 0; t < num_chunks; ++t) {
+    chunk_rows[static_cast<size_t>(t)] =
+        mhs::ComputeRowOverData(data.data() + t * chunk, chunk, eps, q);
+  }
+  const std::vector<mhs::Row> top = mhs::BuildSubtreeRows(std::move(chunk_rows));
+  const mhs::Row& row1 = top[1];
+
+  MhsResult result;
+  if (!row1.feasible()) return result;
+
+  // Choose the average coefficient c_0 (incoming value of c_1 is z_0).
+  mhs::Cell best;
+  int64_t best_z0 = 0;
+  if (const mhs::Cell* cell = row1.Find(0)) {
+    if (cell->feasible()) best = *cell;
+  }
+  for (int64_t g = row1.lo; g <= row1.hi(); ++g) {
+    const mhs::Cell& cell = row1.cells[static_cast<size_t>(g - row1.lo)];
+    if (!cell.feasible() || g == 0) continue;
+    const mhs::Cell cand{cell.count + 1, cell.err};
+    if (cand.Better(best)) {
+      best = cand;
+      best_z0 = g;
+    }
+  }
+  if (!best.feasible()) return result;
+
+  std::vector<Coefficient> coeffs;
+  if (best_z0 != 0) coeffs.push_back({0, static_cast<double>(best_z0) * q});
+  const mhs::Cell* root_cell = row1.Find(best_z0);
+  DWM_CHECK(root_cell != nullptr && root_cell->feasible());
+  if (root_cell->count > 0) {
+    mhs::SelectInHeap(
+        top, /*root_global=*/1, q, /*slot=*/1, best_z0, &coeffs,
+        [&](int64_t t, int64_t v) {
+          // Re-enter chunk t: materialize its rows and select within.
+          const double* slice = data.data() + t * chunk;
+          const int64_t chunk_root = num_chunks + t;
+          if (chunk == 2) {
+            // The "chunk" is a single bottom pair node.
+            const mhs::Row row = mhs::PairRow(slice[0], slice[1], eps, q);
+            const mhs::Cell* cell = row.Find(v);
+            DWM_CHECK(cell != nullptr && cell->feasible());
+            if (cell->count == 1) {
+              coeffs.push_back({chunk_root, (slice[0] - slice[1]) / 2.0});
+            }
+            return;
+          }
+          std::vector<mhs::Row> pairs(static_cast<size_t>(chunk / 2));
+          for (int64_t u = 0; u < chunk / 2; ++u) {
+            pairs[static_cast<size_t>(u)] =
+                mhs::PairRow(slice[2 * u], slice[2 * u + 1], eps, q);
+          }
+          const std::vector<mhs::Row> heap =
+              mhs::BuildSubtreeRows(std::move(pairs));
+          mhs::SelectInHeap(
+              heap, chunk_root, q, /*slot=*/1, v, &coeffs,
+              [&](int64_t u, int64_t pv) {
+                const double a = slice[2 * u];
+                const double b = slice[2 * u + 1];
+                const mhs::Row row = mhs::PairRow(a, b, eps, q);
+                const mhs::Cell* cell = row.Find(pv);
+                DWM_CHECK(cell != nullptr && cell->feasible());
+                if (cell->count == 1) {
+                  coeffs.push_back(
+                      {LocalToGlobal(chunk_root, chunk / 2 + u), (a - b) / 2.0});
+                }
+              });
+        });
+  }
+
+  result.feasible = true;
+  result.count = best.count;
+  result.max_abs_error = best.err;
+  result.synopsis = Synopsis(n, std::move(coeffs));
+  DWM_CHECK_EQ(result.synopsis.size(), result.count);
+  return result;
+}
+
+}  // namespace dwm

@@ -1,0 +1,131 @@
+// MinHaarSpace (Karras, Sacharidis & Mamoulis, KDD'07; Section 4 of the
+// paper): dynamic program for the dual Problem 2 — given an error bound
+// eps, retain the minimum number of *unrestricted* coefficient values such
+// that every reconstructed value is within eps of the data.
+//
+// The DP works bottom-up over the error tree. For node j, the M-row M[j]
+// holds one cell per quantized *incoming value* v (the partial
+// reconstruction contributed by j's ancestors): the minimum number of
+// coefficients that must be retained inside T_j, and (as a tiebreak) the
+// smallest achievable subtree max-error for that count. Key facts exploited:
+//
+//  * A bottom node over the data pair (a, b) is feasible for incoming v iff
+//    |v - (a+b)/2| <= eps (retain the node with z = (a-b)/2), and needs no
+//    coefficient iff both |v - a| <= eps and |v - b| <= eps. Its feasible
+//    window therefore has real width exactly 2*eps.
+//  * Retaining node j with value z sends v+z left and v-z right, so a
+//    parent's feasible window is the average of its children's windows —
+//    feasible windows have width <= 2*eps at *every* node, which bounds the
+//    M-row size by O(eps/delta) (the paper's communication bound, Eq. 6).
+//  * Incoming values are kept on the absolute grid {g * quantum}; grid
+//    feasibility is checked exactly, so any returned synopsis truly meets
+//    the bound — quantization only sacrifices optimality (the paper's delta
+//    knob). Rows can become empty when quantum >> eps, reproducing the
+//    "could not run for delta=50,100" behavior of Section 6.2.
+//
+// The row/combine primitives live in namespace mhs so the distributed
+// version (dist/dmin_haar_space) can reuse them verbatim.
+#ifndef DWMAXERR_CORE_MIN_HAAR_SPACE_H_
+#define DWMAXERR_CORE_MIN_HAAR_SPACE_H_
+
+#include <cstddef>
+#include <functional>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "wavelet/synopsis.h"
+
+namespace dwm {
+namespace mhs {
+
+// Cells are compared lexicographically on (count, err).
+struct Cell {
+  int32_t count = kInfCount;
+  double err = std::numeric_limits<double>::infinity();
+
+  static constexpr int32_t kInfCount = 1 << 29;
+  bool feasible() const { return count < kInfCount; }
+  bool Better(const Cell& other) const {
+    if (count != other.count) return count < other.count;
+    return err < other.err;
+  }
+};
+
+// One M-row: cells for the contiguous grid-index window [lo, lo + size).
+struct Row {
+  int64_t lo = 0;
+  std::vector<Cell> cells;
+
+  bool feasible() const { return !cells.empty(); }
+  int64_t hi() const { return lo + static_cast<int64_t>(cells.size()) - 1; }
+  // Cell at grid index g, or nullptr if outside the window.
+  const Cell* Find(int64_t g) const {
+    if (!feasible() || g < lo || g > hi()) return nullptr;
+    return &cells[static_cast<size_t>(g - lo)];
+  }
+  // Drops infeasible cells at both ends; empties the row if all infeasible.
+  void Trim();
+};
+
+// M-row of a bottom coefficient node over the data pair (a, b).
+Row PairRow(double a, double b, double eps, double quantum);
+
+// M-row of an internal node from its children's rows (one level up).
+Row CombineRows(const Row& left, const Row& right);
+
+// Best decision at an internal node for incoming grid value v: z_grid is the
+// retained value in grid units (0 => the coefficient is dropped).
+struct Choice {
+  Cell cell;
+  int64_t z_grid = 0;
+};
+Choice BestChoice(const Row& left, const Row& right, int64_t v);
+
+// Builds every row of a complete subtree whose inputs (the rows of its 2^h
+// children — pair rows or lower-subtree roots) are `inputs`. Returns a heap
+// array of size 2*inputs.size(): slot 1 is the subtree root, slots
+// [inputs.size(), 2*inputs.size()) are the inputs themselves; slot 0 unused.
+std::vector<Row> BuildSubtreeRows(std::vector<Row> inputs);
+
+// Recursively computes only the root row over a data slice (length a power
+// of two, >= 2) in O(len * w^2) time and O(w log len) memory.
+Row ComputeRowOverData(const double* data, int64_t len, double eps,
+                       double quantum);
+
+// Walks the decisions of a subtree whose rows are materialized in heap
+// layout (BuildSubtreeRows). For heap slots that are inputs, invokes
+// input_cb(input_index, incoming_grid_value); for internal slots, appends
+// any retained coefficient (global index LocalToGlobal(root_global, slot)).
+// Start with slot = 1 and the chosen incoming grid value v.
+void SelectInHeap(const std::vector<Row>& rows, int64_t root_global,
+                  double quantum, int64_t slot, int64_t v,
+                  std::vector<Coefficient>* out,
+                  const std::function<void(int64_t, int64_t)>& input_cb);
+
+}  // namespace mhs
+
+struct MhsOptions {
+  double error_bound = 0.0;  // eps >= 0
+  double quantum = 1.0;      // delta > 0, the quantization step
+};
+
+struct MhsResult {
+  // False when the quantization grid is too coarse for the bound (no grid
+  // point falls in some feasible window) — no synopsis is produced.
+  bool feasible = false;
+  Synopsis synopsis;
+  int64_t count = 0;         // retained coefficients
+  double max_abs_error = 0;  // DP-tracked error of the returned synopsis
+};
+
+// Centralized MinHaarSpace over `data` (size a power of two, >= 2). Uses a
+// two-phase chunked evaluation (bottom-up root row, then top-down re-entry
+// into cached/recomputed sub-trees), the same scheme the distributed version
+// runs across workers.
+MhsResult MinHaarSpace(const std::vector<double>& data,
+                       const MhsOptions& options);
+
+}  // namespace dwm
+
+#endif  // DWMAXERR_CORE_MIN_HAAR_SPACE_H_

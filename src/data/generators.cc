@@ -1,0 +1,107 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace dwm {
+
+std::vector<double> MakeUniform(int64_t n, double max_value, uint64_t seed) {
+  DWM_CHECK_GE(n, 0);
+  Rng rng(seed);
+  std::vector<double> data(static_cast<size_t>(n));
+  for (double& v : data) v = rng.NextDouble() * max_value;
+  return data;
+}
+
+std::vector<double> MakeZipf(int64_t n, double exponent, int64_t max_value,
+                             uint64_t seed) {
+  DWM_CHECK_GE(n, 0);
+  DWM_CHECK_GE(max_value, 1);
+  Rng rng(seed);
+  // Inverse-CDF sampling over the truncated zipf distribution; the CDF table
+  // has max_value entries (at most ~1M for the paper's ranges).
+  std::vector<double> cdf(static_cast<size_t>(max_value));
+  double total = 0.0;
+  for (int64_t k = 1; k <= max_value; ++k) {
+    total += std::pow(static_cast<double>(k), -exponent);
+    cdf[static_cast<size_t>(k - 1)] = total;
+  }
+  std::vector<double> data(static_cast<size_t>(n));
+  for (double& v : data) {
+    const double u = rng.NextDouble() * total;
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    v = static_cast<double>((it - cdf.begin()) + 1);
+  }
+  return data;
+}
+
+std::vector<double> MakeNyctLike(int64_t n, uint64_t seed) {
+  DWM_CHECK_GE(n, 0);
+  Rng rng(seed);
+  std::vector<double> data(static_cast<size_t>(n));
+  // Larger partitions of the real dataset contain a growing share of
+  // zero-duration records (Table 3: the average falls from 672 at 2M to 31
+  // at 64M while the max explodes to ~4.29e9 from corrupt timestamps).
+  const double n_m = static_cast<double>(n) / (2.0 * 1024 * 1024);
+  const double zero_frac =
+      std::clamp(1.0 - 0.95 / std::max(1.0, n_m), 0.05, 0.96);
+  const bool corrupt_tail = n >= 32ll * 1024 * 1024;
+  for (double& v : data) {
+    const double u = rng.NextDouble();
+    if (u < zero_frac) {
+      v = 0.0;
+    } else if (corrupt_tail && u > 1.0 - 2e-7) {
+      // Corrupt records near 2^32 seconds.
+      v = 4.29e6 * (1.0 + 0.001 * rng.NextDouble()) * 1000.0 / 1000.0;
+    } else {
+      // Log-normal trip time, clipped to the 3-hour cap of the clean data.
+      const double t = std::exp(6.2 + 0.75 * rng.NextGaussian());
+      v = std::min(t, 10800.0);
+    }
+  }
+  return data;
+}
+
+std::vector<double> MakeWdLike(int64_t n, uint64_t seed) {
+  DWM_CHECK_GE(n, 0);
+  Rng rng(seed);
+  std::vector<double> data(static_cast<size_t>(n));
+  // AR(1) drift toward a slowly switching regime mean; hurricane wind
+  // direction swings between sectors, giving avg ~125 / stdev ~119.
+  double regime_mean = 40.0;
+  double x = regime_mean;
+  for (int64_t i = 0; i < n; ++i) {
+    if (rng.NextDouble() < 2e-5) {
+      regime_mean = (regime_mean < 130.0) ? 250.0 : 40.0;
+    }
+    x = 0.995 * x + 0.005 * regime_mean + 6.0 * rng.NextGaussian();
+    x = std::clamp(x, 0.0, 359.9);
+    double v = x;
+    if (rng.NextDouble() < 1e-5) v = 655.0;  // sensor glitch code
+    data[static_cast<size_t>(i)] = v;
+  }
+  return data;
+}
+
+DataStats ComputeStats(const std::vector<double>& data) {
+  DataStats stats;
+  if (data.empty()) return stats;
+  double sum = 0.0;
+  stats.max = data[0];
+  stats.min = data[0];
+  for (double v : data) {
+    sum += v;
+    stats.max = std::max(stats.max, v);
+    stats.min = std::min(stats.min, v);
+  }
+  stats.avg = sum / static_cast<double>(data.size());
+  double sq = 0.0;
+  for (double v : data) sq += (v - stats.avg) * (v - stats.avg);
+  stats.stdev = std::sqrt(sq / static_cast<double>(data.size()));
+  return stats;
+}
+
+}  // namespace dwm

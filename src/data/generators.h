@@ -1,0 +1,44 @@
+// Dataset generators for the experimental evaluation (Section 6):
+// synthetic SYN (uniform / zipf over [0, M]) and synthetic stand-ins for the
+// NYCT taxi-trip-time and WD wind-direction datasets (see DESIGN.md for the
+// substitution rationale; the real files are not redistributable).
+#ifndef DWMAXERR_DATA_GENERATORS_H_
+#define DWMAXERR_DATA_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dwm {
+
+// n uniform values in [0, max_value].
+std::vector<double> MakeUniform(int64_t n, double max_value, uint64_t seed);
+
+// n values k in {1..max_value} drawn with P(k) proportional to k^-exponent
+// (zipfian magnitudes; higher exponent => more biased toward small values).
+std::vector<double> MakeZipf(int64_t n, double exponent, int64_t max_value,
+                             uint64_t seed);
+
+// NYCT-like taxi trip times (seconds): log-normal body, a growing share of
+// zero/near-zero records at larger n, and rare corrupt records of extreme
+// magnitude for n >= 32M — reproducing the Table 3 moments (high magnitude
+// and variance, hence a compute-intensive DP).
+std::vector<double> MakeNyctLike(int64_t n, uint64_t seed);
+
+// WD-like wind direction (azimuth degrees): auto-correlated drift in
+// [0, 360) between regime means plus rare sensor glitches up to 655 —
+// smooth data with few discontinuities, easy to approximate.
+std::vector<double> MakeWdLike(int64_t n, uint64_t seed);
+
+// Summary statistics, as reported in Table 3.
+struct DataStats {
+  double avg = 0.0;
+  double stdev = 0.0;
+  double max = 0.0;
+  double min = 0.0;
+};
+
+DataStats ComputeStats(const std::vector<double>& data);
+
+}  // namespace dwm
+
+#endif  // DWMAXERR_DATA_GENERATORS_H_

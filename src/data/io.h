@@ -1,0 +1,29 @@
+// Simple array persistence: raw little-endian binary and one-column CSV.
+#ifndef DWMAXERR_DATA_IO_H_
+#define DWMAXERR_DATA_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "wavelet/synopsis.h"
+
+namespace dwm {
+
+Status WriteDoublesBinary(const std::string& path,
+                          const std::vector<double>& data);
+Status ReadDoublesBinary(const std::string& path, std::vector<double>* data);
+
+Status WriteDoublesCsv(const std::string& path,
+                       const std::vector<double>& data);
+Status ReadDoublesCsv(const std::string& path, std::vector<double>* data);
+
+// Synopsis persistence: a small binary format (magic, domain size, then
+// (index, value) pairs) so a built synopsis can be shipped to query-serving
+// processes.
+Status WriteSynopsis(const std::string& path, const Synopsis& synopsis);
+Status ReadSynopsis(const std::string& path, Synopsis* synopsis);
+
+}  // namespace dwm
+
+#endif  // DWMAXERR_DATA_IO_H_

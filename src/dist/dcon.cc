@@ -1,0 +1,76 @@
+#include "dist/dcon.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "dist/tree_partition.h"
+#include "mr/job.h"
+#include "wavelet/error_tree.h"
+
+namespace dwm {
+
+DistSynopsisResult RunCon(const std::vector<double>& data, int64_t budget,
+                          int64_t base_leaves,
+                          const mr::ClusterConfig& cluster) {
+  const int64_t n = static_cast<int64_t>(data.size());
+  const TreePartition partition = MakeTreePartition(n, base_leaves);
+  const int64_t num_base = partition.num_base;
+
+  // Reducer-scoped state (a Hadoop reducer would hold this across its
+  // reduce() calls and finish in cleanup()).
+  std::vector<double> averages(static_cast<size_t>(num_base), 0.0);
+  dist_internal::TopBySignificance top(budget);
+
+  // Keys: -(t+1) carries base t's average (negative keys sort first, so the
+  // reducer sees every average before any detail); otherwise the key is the
+  // coefficient's global error-tree index.
+  mr::JobSpec<int64_t, int64_t, double, int64_t> spec;
+  spec.name = "con";
+  spec.num_reducers = 1;
+  spec.split_bytes = [&](const int64_t&) {
+    return static_cast<double>(base_leaves) * sizeof(double);
+  };
+  spec.map = [&](int64_t, const int64_t& t, const auto& emit) {
+    std::vector<double> slice(
+        data.begin() + t * base_leaves,
+        data.begin() + (t + 1) * base_leaves);
+    const std::vector<double> local = ForwardHaar(slice);
+    emit(-(t + 1), local[0]);
+    const int64_t root = partition.BaseRoot(t);
+    for (int64_t s = 1; s < base_leaves; ++s) {
+      emit(LocalToGlobal(root, s), local[static_cast<size_t>(s)]);
+    }
+  };
+  spec.reduce = [&](const int64_t& key, std::vector<double>& values,
+                    std::vector<int64_t>*) {
+    DWM_CHECK_EQ(values.size(), 1u);
+    if (key < 0) {
+      averages[static_cast<size_t>(-key - 1)] = values[0];
+    } else {
+      top.Offer(key, values[0]);
+    }
+  };
+
+  std::vector<int64_t> splits(static_cast<size_t>(num_base));
+  for (int64_t t = 0; t < num_base; ++t) splits[static_cast<size_t>(t)] = t;
+
+  DistSynopsisResult result;
+  mr::JobStats stats;
+  mr::RunJob(spec, splits, cluster, &stats);
+
+  // Reducer cleanup: the root sub-tree coefficients are the transform of
+  // the base averages (the top of the full decomposition).
+  Stopwatch finalize;
+  const std::vector<double> root_coeffs = ForwardHaar(averages);
+  for (int64_t i = 0; i < num_base; ++i) {
+    top.Offer(i, root_coeffs[static_cast<size_t>(i)]);
+  }
+  result.synopsis = Synopsis(n, top.Take());
+  stats.reduce_makespan_seconds +=
+      finalize.ElapsedSeconds() * cluster.compute_scale;
+  result.report.jobs.push_back(stats);
+  return result;
+}
+
+}  // namespace dwm

@@ -1,0 +1,24 @@
+// CON (Appendix A.1): parallel construction of the conventional (L2-optimal)
+// synopsis using the locality-preserving partitioning of Section 4. Each
+// mapper transforms its aligned slice and emits the local detail
+// coefficients plus the slice average; the single reducer rebuilds the root
+// sub-tree from the averages and keeps the B most significant coefficients.
+#ifndef DWMAXERR_DIST_DCON_H_
+#define DWMAXERR_DIST_DCON_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/dist_common.h"
+#include "mr/cluster.h"
+
+namespace dwm {
+
+// `base_leaves` is the aligned mapper slice size (a power of two).
+DistSynopsisResult RunCon(const std::vector<double>& data, int64_t budget,
+                          int64_t base_leaves,
+                          const mr::ClusterConfig& cluster);
+
+}  // namespace dwm
+
+#endif  // DWMAXERR_DIST_DCON_H_

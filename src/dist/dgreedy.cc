@@ -1,0 +1,399 @@
+#include "dist/dgreedy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <queue>
+#include <utility>
+
+#include "common/bits.h"
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "core/greedy_abs.h"
+#include "core/greedy_rel.h"
+#include "dist/tree_partition.h"
+#include "mr/job.h"
+#include "wavelet/error_tree.h"
+#include "wavelet/haar.h"
+
+namespace dwm {
+namespace dgreedy_internal {
+
+// One achievable stopping point of a base sub-tree's greedy run: keeping
+// the last `kept` discarded nodes yields (bucketed) max error `error`.
+struct FrontierPoint {
+  double error = 0.0;
+  int64_t kept = 0;
+};
+
+}  // namespace dgreedy_internal
+}  // namespace dwm
+
+namespace dwm::mr {
+
+template <>
+struct Serde<dgreedy_internal::FrontierPoint> {
+  static void Put(ByteBuffer& b, const dgreedy_internal::FrontierPoint& p) {
+    b.PutScalar<double>(p.error);
+    b.PutScalar<int64_t>(p.kept);
+  }
+  static dgreedy_internal::FrontierPoint Get(ByteReader& r) {
+    dgreedy_internal::FrontierPoint p;
+    p.error = r.GetScalar<double>();
+    p.kept = r.GetScalar<int64_t>();
+    return p;
+  }
+};
+
+}  // namespace dwm::mr
+
+namespace dwm {
+namespace {
+
+using dgreedy_internal::FrontierPoint;
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+struct DGreedyContext {
+  bool relative = false;
+  double sanity = 1.0;
+};
+
+// Leaf denominators for the relative metric over one slice.
+std::vector<double> SliceWeights(const std::vector<double>& data, int64_t begin,
+                                 int64_t count, double sanity) {
+  std::vector<double> weights(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    weights[static_cast<size_t>(i)] =
+        std::max(std::abs(data[static_cast<size_t>(begin + i)]), sanity);
+  }
+  return weights;
+}
+
+// Runs the greedy discard loop over one base sub-tree with incoming error
+// e_in; abs or rel depending on the context.
+std::vector<HeapDiscardEvent> RunBaseGreedy(const DGreedyContext& ctx,
+                                            const std::vector<double>& data,
+                                            const TreePartition& partition,
+                                            std::vector<double> local_coeffs,
+                                            int64_t t, double e_in) {
+  if (!ctx.relative) {
+    GreedyAbsTree tree(std::move(local_coeffs), /*has_average=*/false, e_in);
+    return tree.Run();
+  }
+  GreedyRelTree tree(std::move(local_coeffs), /*has_average=*/false, e_in,
+                     SliceWeights(data, partition.SliceBegin(t),
+                                  partition.base_leaves, ctx.sanity));
+  return tree.Run();
+}
+
+// The Pareto frontier of (error, kept) over every greedy stopping point,
+// bucketed to e_b (Algorithm 3's compaction): errors strictly decrease as
+// `kept` increases, starting at kept == 0 (discard everything). This is the
+// level-1 emission: it carries the same information as the paper's error
+// histogram but keyed by cumulative counts, which lets level-2 reproduce
+// the centralized "best of the last B+1 prefixes" rule exactly even though
+// the error is not monotone in the number of removals (Section 5.1).
+std::vector<FrontierPoint> StateFrontier(
+    const std::vector<HeapDiscardEvent>& events, double baseline,
+    double bucket_width) {
+  const int64_t total = static_cast<int64_t>(events.size());
+  std::vector<FrontierPoint> frontier;
+  double current = kInfinity;
+  for (int64_t kept = 0; kept <= total; ++kept) {
+    // Keeping the last `kept` nodes == stopping after total - kept
+    // discards; with zero discards only the incoming error remains.
+    const double state_error =
+        kept == total ? baseline
+                      : events[static_cast<size_t>(total - kept - 1)].error;
+    const double bucketed =
+        std::floor(state_error / bucket_width) * bucket_width;
+    if (bucketed < current) {
+      frontier.push_back({bucketed, kept});
+      current = bucketed;
+    }
+  }
+  return frontier;
+}
+
+// Incoming errors per candidate C_root size s = 0..kmax for base t; C_s is
+// the size-s suffix of the root discard order (the s most important nodes).
+std::vector<double> IncomingErrors(const TreePartition& partition, int64_t t,
+                                   const std::vector<double>& root_coeffs,
+                                   const std::vector<int64_t>& discard_order,
+                                   int64_t kmax) {
+  const int64_t num_root = static_cast<int64_t>(root_coeffs.size());
+  double e_in = 0.0;
+  for (int64_t a = 0; a < num_root; ++a) {
+    e_in += IncomingErrorContribution(partition, t, a,
+                                      root_coeffs[static_cast<size_t>(a)]);
+  }
+  std::vector<double> by_size(static_cast<size_t>(kmax + 1));
+  by_size[0] = e_in;  // s = 0: every root node discarded
+  for (int64_t s = 1; s <= kmax; ++s) {
+    const int64_t retained = discard_order[static_cast<size_t>(num_root - s)];
+    e_in -= IncomingErrorContribution(
+        partition, t, retained, root_coeffs[static_cast<size_t>(retained)]);
+    by_size[static_cast<size_t>(s)] = e_in;
+  }
+  return by_size;
+}
+
+DGreedyResult RunDGreedy(const DGreedyContext& ctx,
+                         const std::vector<double>& data,
+                         const DGreedyOptions& options,
+                         const mr::ClusterConfig& cluster) {
+  const int64_t n = static_cast<int64_t>(data.size());
+  const int64_t base_leaves = std::clamp<int64_t>(options.base_leaves, 2, n / 2);
+  const TreePartition partition = MakeTreePartition(n, base_leaves);
+  const int64_t num_base = partition.num_base;
+  const int64_t budget = std::clamp<int64_t>(options.budget, 0, n);
+  const double bucket_width =
+      options.bucket_width > 0.0 ? options.bucket_width : 1e-9;
+
+  DGreedyResult out;
+  std::vector<int64_t> base_splits(static_cast<size_t>(num_base));
+  for (int64_t t = 0; t < num_base; ++t) base_splits[static_cast<size_t>(t)] = t;
+  const auto slice_bytes = [&](const int64_t&) {
+    return static_cast<double>(base_leaves) * sizeof(double);
+  };
+
+  // ---- Job 1: local transforms; collect slice averages (and, for the
+  // relative metric, the minimum leaf denominator per base). ----
+  std::vector<double> averages(static_cast<size_t>(num_base), 0.0);
+  std::vector<double> min_weights(static_cast<size_t>(num_base), 1.0);
+  {
+    mr::JobSpec<int64_t, int64_t, std::pair<double, double>, int64_t> spec;
+    spec.name = ctx.relative ? "dgreedyrel_transform" : "dgreedyabs_transform";
+    spec.num_reducers = 1;
+    spec.split_bytes = slice_bytes;
+    spec.map = [&](int64_t, const int64_t& t, const auto& emit) {
+      std::vector<double> slice(data.begin() + t * base_leaves,
+                                data.begin() + (t + 1) * base_leaves);
+      const std::vector<double> local = ForwardHaar(slice);
+      double min_w = kInfinity;
+      if (ctx.relative) {
+        for (double w :
+             SliceWeights(data, t * base_leaves, base_leaves, ctx.sanity)) {
+          min_w = std::min(min_w, w);
+        }
+      } else {
+        min_w = 1.0;
+      }
+      emit(t, {local[0], min_w});
+    };
+    spec.reduce = [&](const int64_t& t,
+                      std::vector<std::pair<double, double>>& values,
+                      std::vector<int64_t>*) {
+      DWM_CHECK_EQ(values.size(), 1u);
+      averages[static_cast<size_t>(t)] = values[0].first;
+      min_weights[static_cast<size_t>(t)] = values[0].second;
+    };
+    mr::JobStats stats;
+    mr::RunJob(spec, base_splits, cluster, &stats);
+    out.report.jobs.push_back(stats);
+  }
+
+  // ---- Driver: root sub-tree + genRootSets (Algorithm 4). The root
+  // sub-tree is exponentially smaller than the data, so this is cheap. ----
+  Stopwatch driver_clock;
+  const std::vector<double> root_coeffs = ForwardHaar(averages);
+  std::vector<int64_t> discard_order;
+  {
+    std::vector<HeapDiscardEvent> events;
+    if (!ctx.relative) {
+      GreedyAbsTree tree(root_coeffs, /*has_average=*/true, 0.0);
+      events = tree.Run();
+    } else {
+      GreedyRelTree tree(root_coeffs, /*has_average=*/true, 0.0, min_weights);
+      events = tree.Run();
+    }
+    discard_order.reserve(events.size());
+    for (const HeapDiscardEvent& e : events) discard_order.push_back(e.slot);
+  }
+  const int64_t kmax = std::min<int64_t>(num_base, budget);
+  out.report.driver_seconds += driver_clock.ElapsedSeconds();
+
+  // ---- Job 2: ErrHistGreedyAbs at level 1, combineResults at level 2
+  // (Algorithms 3 and 5). Key: candidate |C_root| = s; values: the base id
+  // plus one Pareto frontier point (bucketed error, kept count). ----
+  std::vector<std::pair<int64_t, double>> candidates;  // (s, achievable E)
+  {
+    mr::JobSpec<int64_t, int64_t, std::pair<int64_t, FrontierPoint>,
+                std::pair<int64_t, double>>
+        spec;
+    spec.name = ctx.relative ? "dgreedyrel_hist" : "dgreedyabs_hist";
+    spec.num_reducers =
+        static_cast<int>(std::clamp<int64_t>(options.level2_workers, 1,
+                                             kmax + 1));
+    spec.partition = [&spec](const int64_t& s) {
+      return static_cast<int>(s % spec.num_reducers);
+    };
+    spec.split_bytes = slice_bytes;
+    spec.map = [&](int64_t, const int64_t& t, const auto& emit) {
+      std::vector<double> slice(data.begin() + t * base_leaves,
+                                data.begin() + (t + 1) * base_leaves);
+      const std::vector<double> local = ForwardHaar(slice);
+      const std::vector<double> e_in =
+          IncomingErrors(partition, t, root_coeffs, discard_order, kmax);
+      // Group candidate sets by the incoming error they induce here; only
+      // log R + 2 of them are distinct (Section 5.3).
+      std::map<double, std::vector<int64_t>> groups;
+      for (int64_t s = 0; s <= kmax; ++s) {
+        groups[e_in[static_cast<size_t>(s)]].push_back(s);
+      }
+      for (const auto& [incoming, sizes] : groups) {
+        const std::vector<HeapDiscardEvent> events =
+            RunBaseGreedy(ctx, data, partition, local, t, incoming);
+        const double baseline =
+            ctx.relative
+                ? std::abs(incoming) / min_weights[static_cast<size_t>(t)]
+                : std::abs(incoming);
+        const auto frontier = StateFrontier(events, baseline, bucket_width);
+        for (int64_t s : sizes) {
+          for (const FrontierPoint& point : frontier) emit(s, {t, point});
+        }
+      }
+    };
+    spec.reduce = [&](const int64_t& s,
+                      std::vector<std::pair<int64_t, FrontierPoint>>& entries,
+                      std::vector<std::pair<int64_t, double>>* result) {
+      // combineResults: find the smallest error E such that every base can
+      // reach <= E and the total kept nodes fit in budget - s. Advance,
+      // base by base, the frontier of whichever base currently binds the
+      // error, accumulating its extra cost.
+      std::map<int64_t, std::vector<FrontierPoint>> frontiers;
+      for (const auto& [t, point] : entries) frontiers[t].push_back(point);
+      const int64_t allowance = budget - s;
+      // Heap of (current error, base); frontiers are emitted in decreasing
+      // error / increasing kept order.
+      std::priority_queue<std::pair<double, int64_t>> binding;
+      std::map<int64_t, size_t> position;
+      int64_t total_kept = 0;
+      for (const auto& [t, frontier] : frontiers) {
+        position[t] = 0;
+        total_kept += frontier[0].kept;  // kept == 0 by construction
+        binding.push({frontier[0].error, t});
+      }
+      DWM_CHECK_LE(total_kept, allowance);
+      double achieved = binding.empty() ? 0.0 : binding.top().first;
+      while (!binding.empty()) {
+        const auto [error, t] = binding.top();
+        achieved = error;
+        binding.pop();
+        const auto& frontier = frontiers[t];
+        const size_t next = position[t] + 1;
+        if (next >= frontier.size()) break;  // this base cannot improve
+        const int64_t extra =
+            frontier[next].kept - frontier[position[t]].kept;
+        if (total_kept + extra > allowance) break;  // out of budget
+        total_kept += extra;
+        position[t] = next;
+        binding.push({frontier[next].error, t});
+      }
+      result->push_back({s, achieved});
+    };
+    mr::JobStats stats;
+    candidates = mr::RunJob(spec, base_splits, cluster, &stats);
+    out.report.jobs.push_back(stats);
+  }
+
+  // Driver: pick the best C_root (smallest achieved error, then smaller s).
+  double best_error = kInfinity;
+  int64_t best_s = 0;
+  for (const auto& [s, achieved] : candidates) {
+    if (achieved < best_error || (achieved == best_error && s < best_s)) {
+      best_error = achieved;
+      best_s = s;
+    }
+  }
+  out.estimated_error = best_error;
+  out.best_croot_size = best_s;
+
+  // ---- Job 3: construct (Algorithm 6 lines 19-25). Each worker re-runs
+  // the greedy once for the winning C_root, reproduces its frontier, and
+  // ships exactly the suffix of its discard order that reaches the winning
+  // error level (the cheapest local stopping point with error <= E*). ----
+  std::vector<Coefficient> kept;
+  {
+    mr::JobSpec<int64_t, int64_t, std::pair<int64_t, double>, Coefficient>
+        spec;
+    spec.name = ctx.relative ? "dgreedyrel_construct" : "dgreedyabs_construct";
+    spec.num_reducers = 1;
+    spec.split_bytes = slice_bytes;
+    spec.map = [&](int64_t, const int64_t& t, const auto& emit) {
+      std::vector<double> slice(data.begin() + t * base_leaves,
+                                data.begin() + (t + 1) * base_leaves);
+      const std::vector<double> local = ForwardHaar(slice);
+      const std::vector<double> e_in =
+          IncomingErrors(partition, t, root_coeffs, discard_order, kmax);
+      const double incoming = e_in[static_cast<size_t>(best_s)];
+      const std::vector<HeapDiscardEvent> events =
+          RunBaseGreedy(ctx, data, partition, local, t, incoming);
+      const double baseline =
+          ctx.relative
+              ? std::abs(incoming) / min_weights[static_cast<size_t>(t)]
+              : std::abs(incoming);
+      const auto frontier = StateFrontier(events, baseline, bucket_width);
+      // Cheapest stopping point at or below the winning level (exists by
+      // construction of E* unless this base never binds, in which case the
+      // first feasible point still matches the level-2 accounting).
+      int64_t keep_count = frontier.back().kept;
+      for (const FrontierPoint& point : frontier) {
+        if (point.error <= best_error + 1e-12) {
+          keep_count = point.kept;
+          break;
+        }
+      }
+      const int64_t total = static_cast<int64_t>(events.size());
+      const int64_t root = partition.BaseRoot(t);
+      for (int64_t i = total - keep_count; i < total; ++i) {
+        const int64_t slot = events[static_cast<size_t>(i)].slot;
+        emit(0, {LocalToGlobal(root, slot), local[static_cast<size_t>(slot)]});
+      }
+    };
+    spec.reduce = [&](const int64_t&,
+                      std::vector<std::pair<int64_t, double>>& values,
+                      std::vector<Coefficient>* result) {
+      for (const auto& [index, value] : values) {
+        if (value != 0.0) result->push_back({index, value});
+      }
+    };
+    mr::JobStats stats;
+    kept = mr::RunJob(spec, base_splits, cluster, &stats);
+    out.report.jobs.push_back(stats);
+  }
+
+  // Add the retained root sub-tree coefficients (the size-best_s suffix of
+  // the discard order).
+  for (int64_t s = 1; s <= best_s; ++s) {
+    const int64_t node = discard_order[static_cast<size_t>(num_base - s)];
+    const double value = root_coeffs[static_cast<size_t>(node)];
+    if (value != 0.0) kept.push_back({node, value});
+  }
+  out.synopsis = Synopsis(n, std::move(kept));
+  return out;
+}
+
+}  // namespace
+
+DGreedyResult DGreedyAbs(const std::vector<double>& data,
+                         const DGreedyOptions& options,
+                         const mr::ClusterConfig& cluster) {
+  DGreedyContext ctx;
+  ctx.relative = false;
+  return RunDGreedy(ctx, data, options, cluster);
+}
+
+DGreedyResult DGreedyRel(const std::vector<double>& data,
+                         const DGreedyOptions& options, double sanity,
+                         const mr::ClusterConfig& cluster) {
+  DWM_CHECK_GT(sanity, 0.0);
+  DGreedyContext ctx;
+  ctx.relative = true;
+  ctx.sanity = sanity;
+  return RunDGreedy(ctx, data, options, cluster);
+}
+
+}  // namespace dwm

@@ -1,0 +1,155 @@
+#include "dist/dindirect_haar.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bits.h"
+#include "common/check.h"
+#include "dist/dcon.h"
+#include "dist/dmin_haar_space.h"
+#include "dist/tree_partition.h"
+#include "mr/job.h"
+#include "wavelet/error_tree.h"
+
+namespace dwm {
+namespace {
+
+// Job computing e_l: every worker emits its largest local coefficient
+// magnitudes (at most B+1 of them); the reducer merges them with the root
+// sub-tree coefficients built from the slice averages (Algorithm 2 line 2).
+double LowerBoundJob(const std::vector<double>& data, int64_t budget,
+                     int64_t base_leaves, const mr::ClusterConfig& cluster,
+                     mr::SimReport* report) {
+  const int64_t n = static_cast<int64_t>(data.size());
+  const TreePartition partition = MakeTreePartition(n, base_leaves);
+  std::vector<double> averages(static_cast<size_t>(partition.num_base), 0.0);
+  std::vector<double> magnitudes;
+
+  mr::JobSpec<int64_t, int64_t, double, int64_t> spec;
+  spec.name = "dih_lower_bound";
+  spec.num_reducers = 1;
+  spec.split_bytes = [&](const int64_t&) {
+    return static_cast<double>(base_leaves) * sizeof(double);
+  };
+  spec.map = [&](int64_t, const int64_t& t, const auto& emit) {
+    std::vector<double> slice(data.begin() + t * base_leaves,
+                              data.begin() + (t + 1) * base_leaves);
+    std::vector<double> local = ForwardHaar(slice);
+    emit(-(t + 1), local[0]);
+    std::vector<double> mags(local.begin() + 1, local.end());
+    for (double& m : mags) m = std::abs(m);
+    const int64_t keep =
+        std::min<int64_t>(budget + 1, static_cast<int64_t>(mags.size()));
+    std::nth_element(mags.begin(), mags.begin() + (keep - 1), mags.end(),
+                     std::greater<double>());
+    for (int64_t i = 0; i < keep; ++i) emit(0, mags[static_cast<size_t>(i)]);
+  };
+  spec.reduce = [&](const int64_t& key, std::vector<double>& values,
+                    std::vector<int64_t>*) {
+    if (key < 0) {
+      averages[static_cast<size_t>(-key - 1)] = values[0];
+    } else {
+      magnitudes.insert(magnitudes.end(), values.begin(), values.end());
+    }
+  };
+  std::vector<int64_t> splits(static_cast<size_t>(partition.num_base));
+  for (int64_t t = 0; t < partition.num_base; ++t) {
+    splits[static_cast<size_t>(t)] = t;
+  }
+  mr::JobStats stats;
+  mr::RunJob(spec, splits, cluster, &stats);
+  report->jobs.push_back(stats);
+
+  for (double c : ForwardHaar(averages)) magnitudes.push_back(std::abs(c));
+  if (budget >= static_cast<int64_t>(magnitudes.size())) return 0.0;
+  std::nth_element(magnitudes.begin(), magnitudes.begin() + budget,
+                   magnitudes.end(), std::greater<double>());
+  return magnitudes[static_cast<size_t>(budget)];
+}
+
+// Job computing the exact max_abs of a broadcast synopsis: every worker
+// reconstructs its aligned slice locally (Algorithm 2 line 1's bottom-up
+// max_abs computation with the B-term synopsis in memory).
+double MaxAbsJob(const std::vector<double>& data, const Synopsis& synopsis,
+                 int64_t base_leaves, const mr::ClusterConfig& cluster,
+                 const std::string& name, mr::SimReport* report) {
+  const int64_t n = static_cast<int64_t>(data.size());
+  double global_max = 0.0;
+  mr::JobSpec<int64_t, int64_t, double, int64_t> spec;
+  spec.name = name;
+  spec.num_reducers = 1;
+  spec.split_bytes = [&](const int64_t&) {
+    return static_cast<double>(base_leaves) * sizeof(double);
+  };
+  spec.map = [&](int64_t, const int64_t& t, const auto& emit) {
+    const std::vector<double> rec =
+        synopsis.ReconstructRange(t * base_leaves, base_leaves);
+    double local_max = 0.0;
+    for (int64_t i = 0; i < base_leaves; ++i) {
+      local_max = std::max(
+          local_max, std::abs(rec[static_cast<size_t>(i)] -
+                              data[static_cast<size_t>(t * base_leaves + i)]));
+    }
+    emit(0, local_max);
+  };
+  spec.reduce = [&](const int64_t&, std::vector<double>& values,
+                    std::vector<int64_t>*) {
+    for (double v : values) global_max = std::max(global_max, v);
+  };
+  std::vector<int64_t> splits(static_cast<size_t>(n / base_leaves));
+  for (size_t t = 0; t < splits.size(); ++t) {
+    splits[t] = static_cast<int64_t>(t);
+  }
+  mr::JobStats stats;
+  mr::RunJob(spec, splits, cluster, &stats);
+  report->jobs.push_back(stats);
+  return global_max;
+}
+
+}  // namespace
+
+DIndirectHaarResult DIndirectHaar(const std::vector<double>& data,
+                                  const DIndirectHaarOptions& options,
+                                  const mr::ClusterConfig& cluster) {
+  const int64_t n = static_cast<int64_t>(data.size());
+  DWM_CHECK(IsPowerOfTwo(static_cast<uint64_t>(n)));
+  DWM_CHECK_GE(n, 8);
+  const int64_t base_leaves =
+      std::clamp<int64_t>(2 * options.subtree_inputs, 2, n / 2);
+
+  DIndirectHaarResult out;
+
+  // Line 1: e_u via the conventional synopsis (CON) plus an evaluation job.
+  DistSynopsisResult con = RunCon(data, options.budget, base_leaves, cluster);
+  for (const auto& job : con.report.jobs) out.report.jobs.push_back(job);
+  const double e_u = MaxAbsJob(data, con.synopsis, base_leaves, cluster,
+                               "dih_upper_bound", &out.report);
+  // Line 2: e_l, the (B+1)-largest coefficient.
+  const double e_l =
+      LowerBoundJob(data, options.budget, base_leaves, cluster, &out.report);
+
+  if (e_u <= 1e-12) {
+    out.search.converged = true;
+    out.search.synopsis = con.synopsis;
+    out.search.max_abs_error = e_u;
+    return out;
+  }
+  if (e_u <= options.quantum / 2.0) {
+    out.search.upper_bound = e_u;
+    return out;  // delta coarser than the search range (Section 6.2)
+  }
+
+  Problem2Solver solver = [&](double eps) {
+    DmhsResult run = DMinHaarSpace(
+        data, {eps, options.quantum, options.subtree_inputs}, cluster);
+    for (const auto& job : run.report.jobs) out.report.jobs.push_back(job);
+    out.report.driver_seconds += run.report.driver_seconds;
+    return std::move(run.result);
+  };
+  out.search =
+      IndirectHaarSearch(solver, std::min(e_l, e_u), e_u, options.budget,
+                         options.quantum, options.max_iterations);
+  return out;
+}
+
+}  // namespace dwm

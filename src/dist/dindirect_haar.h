@@ -1,0 +1,35 @@
+// DIndirectHaar (Algorithm 2): solves Problem 1 by binary search over the
+// error bound, invoking DMHaarSpace once per probe (each probe is a
+// multi-job distributed run). The search bounds are themselves computed
+// with two extra jobs: e_l = the (B+1)-largest coefficient magnitude and
+// e_u = the max_abs of the conventional B-term synopsis.
+#ifndef DWMAXERR_DIST_DINDIRECT_HAAR_H_
+#define DWMAXERR_DIST_DINDIRECT_HAAR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/indirect_haar.h"
+#include "mr/cluster.h"
+
+namespace dwm {
+
+struct DIndirectHaarOptions {
+  int64_t budget = 0;
+  double quantum = 1.0;
+  int64_t subtree_inputs = 256;  // DMHaarSpace worker sub-tree size
+  int max_iterations = 40;
+};
+
+struct DIndirectHaarResult {
+  IndirectHaarResult search;
+  mr::SimReport report;  // accumulated over every job of every probe
+};
+
+DIndirectHaarResult DIndirectHaar(const std::vector<double>& data,
+                                  const DIndirectHaarOptions& options,
+                                  const mr::ClusterConfig& cluster);
+
+}  // namespace dwm
+
+#endif  // DWMAXERR_DIST_DINDIRECT_HAAR_H_

@@ -1,0 +1,304 @@
+#include "dist/dmin_haar_space.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "common/bits.h"
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "mr/bytes.h"
+#include "mr/job.h"
+#include "wavelet/error_tree.h"
+
+namespace dwm::mr {
+
+// M-rows cross worker boundaries; their serialized size is what Equation 6
+// accounts.
+template <>
+struct Serde<mhs::Cell> {
+  static void Put(ByteBuffer& b, const mhs::Cell& c) {
+    b.PutScalar<int32_t>(c.count);
+    b.PutScalar<double>(c.err);
+  }
+  static mhs::Cell Get(ByteReader& r) {
+    mhs::Cell c;
+    c.count = r.GetScalar<int32_t>();
+    c.err = r.GetScalar<double>();
+    return c;
+  }
+};
+
+template <>
+struct Serde<mhs::Row> {
+  static void Put(ByteBuffer& b, const mhs::Row& row) {
+    b.PutScalar<int64_t>(row.lo);
+    Serde<std::vector<mhs::Cell>>::Put(b, row.cells);
+  }
+  static mhs::Row Get(ByteReader& r) {
+    mhs::Row row;
+    row.lo = r.GetScalar<int64_t>();
+    row.cells = Serde<std::vector<mhs::Cell>>::Get(r);
+    return row;
+  }
+};
+
+}  // namespace dwm::mr
+
+namespace dwm {
+namespace {
+
+double RowBytes(const mhs::Row& row) {
+  return 16.0 + 12.0 * static_cast<double>(row.cells.size());
+}
+
+}  // namespace
+
+DmhsResult DMinHaarSpace(const std::vector<double>& data,
+                         const DmhsOptions& options,
+                         const mr::ClusterConfig& cluster) {
+  const int64_t n = static_cast<int64_t>(data.size());
+  DWM_CHECK(IsPowerOfTwo(static_cast<uint64_t>(n)));
+  DWM_CHECK_GE(n, 4);
+  DWM_CHECK(IsPowerOfTwo(static_cast<uint64_t>(options.subtree_inputs)));
+  DWM_CHECK_GE(options.subtree_inputs, 2);
+  const double eps = options.error_bound;
+  const double q = options.quantum;
+  const int64_t fan = std::min(options.subtree_inputs, n / 2);
+
+  DmhsResult out;
+
+  // ---------------- Bottom-up phase (Algorithm 1). ----------------
+  // Stage s has tasks[s] workers; worker i of stage s produces the M-row of
+  // global node tasks[s] + i. stage_inputs[s] are the rows consumed by
+  // stage s's workers (s >= 1; stage 0 reads raw data).
+  std::vector<int64_t> tasks;         // tasks per stage
+  tasks.push_back(std::max<int64_t>(1, n / (2 * fan)));
+  while (tasks.back() > 1) {
+    tasks.push_back(std::max<int64_t>(1, tasks.back() / fan));
+  }
+  const int num_stages = static_cast<int>(tasks.size());
+
+  // stage_inputs[s][task] -> input rows (only for s >= 1).
+  std::vector<std::vector<std::vector<mhs::Row>>> stage_inputs(
+      static_cast<size_t>(num_stages));
+  for (int s = 1; s < num_stages; ++s) {
+    stage_inputs[static_cast<size_t>(s)].resize(
+        static_cast<size_t>(tasks[static_cast<size_t>(s)]));
+  }
+  std::vector<mhs::Row> final_rows;  // inputs of the (single) top task
+
+  for (int s = 0; s < num_stages; ++s) {
+    const int64_t num_tasks = tasks[static_cast<size_t>(s)];
+    const bool last = s + 1 == num_stages;
+    std::vector<int64_t> splits(static_cast<size_t>(num_tasks));
+    for (int64_t i = 0; i < num_tasks; ++i) splits[static_cast<size_t>(i)] = i;
+
+    // Emitted key: the consuming task of the next stage; value: (position
+    // within that task, row). The last stage emits to the driver (key 0).
+    mr::JobSpec<int64_t, int64_t, std::pair<int64_t, mhs::Row>, int64_t> spec;
+    spec.name = "dmhs_up_" + std::to_string(s);
+    spec.num_reducers = static_cast<int>(std::min<int64_t>(
+        last ? 1 : tasks[static_cast<size_t>(s + 1)], cluster.reduce_slots));
+    spec.partition = [&spec](const int64_t& key) {
+      return static_cast<int>(key % spec.num_reducers);
+    };
+    if (s == 0) {
+      spec.split_bytes = [&](const int64_t&) {
+        return static_cast<double>(2 * fan) * sizeof(double);
+      };
+    } else {
+      spec.split_bytes = [&, s](const int64_t& task) {
+        double bytes = 0.0;
+        for (const mhs::Row& row :
+             stage_inputs[static_cast<size_t>(s)][static_cast<size_t>(task)]) {
+          bytes += RowBytes(row);
+        }
+        return bytes;
+      };
+    }
+    spec.map = [&, s, last](int64_t, const int64_t& task, const auto& emit) {
+      mhs::Row row;
+      if (s == 0) {
+        const int64_t leaves = 2 * fan;
+        row = mhs::ComputeRowOverData(data.data() + task * leaves, leaves, eps,
+                                      q);
+      } else {
+        std::vector<mhs::Row> inputs =
+            stage_inputs[static_cast<size_t>(s)][static_cast<size_t>(task)];
+        row = std::move(mhs::BuildSubtreeRows(std::move(inputs))[1]);
+      }
+      emit(last ? 0 : task / fan, {last ? task : task % fan, std::move(row)});
+    };
+    spec.reduce = [&, s, last](const int64_t& key,
+                               std::vector<std::pair<int64_t, mhs::Row>>& rows,
+                               std::vector<int64_t>*) {
+      if (last) {
+        final_rows.resize(rows.size());
+        for (auto& [pos, row] : rows) {
+          final_rows[static_cast<size_t>(pos)] = std::move(row);
+        }
+      } else {
+        auto& inputs = stage_inputs[static_cast<size_t>(s + 1)]
+                                   [static_cast<size_t>(key)];
+        // The next stage's task consumes `fan` children, except when this
+        // whole stage feeds a single final task with fewer outputs.
+        inputs.resize(static_cast<size_t>(
+            std::min(fan, tasks[static_cast<size_t>(s)])));
+        for (auto& [pos, row] : rows) {
+          inputs[static_cast<size_t>(pos)] = std::move(row);
+        }
+      }
+    };
+    mr::JobStats stats;
+    mr::RunJob(spec, splits, cluster, &stats);
+    out.report.jobs.push_back(stats);
+  }
+
+  // ---------------- Driver: choose c_0 from the row of c_1. ----------------
+  Stopwatch driver_clock;
+  const std::vector<mhs::Row> top_heap = mhs::BuildSubtreeRows(final_rows);
+  const mhs::Row& row1 = top_heap[1];
+  if (!row1.feasible()) {
+    out.report.driver_seconds = driver_clock.ElapsedSeconds();
+    return out;
+  }
+  mhs::Cell best;
+  int64_t best_z0 = 0;
+  if (const mhs::Cell* cell = row1.Find(0)) {
+    if (cell->feasible()) best = *cell;
+  }
+  for (int64_t g = row1.lo; g <= row1.hi(); ++g) {
+    const mhs::Cell& cell = row1.cells[static_cast<size_t>(g - row1.lo)];
+    if (!cell.feasible() || g == 0) continue;
+    const mhs::Cell cand{cell.count + 1, cell.err};
+    if (cand.Better(best)) {
+      best = cand;
+      best_z0 = g;
+    }
+  }
+  if (!best.feasible()) {
+    out.report.driver_seconds = driver_clock.ElapsedSeconds();
+    return out;
+  }
+
+  std::vector<Coefficient> coeffs;
+  if (best_z0 != 0) coeffs.push_back({0, static_cast<double>(best_z0) * q});
+
+  // Hand the chosen incoming value of c_1 to the topmost worker; the
+  // top-down jobs below re-enter each sub-tree layer by layer.
+  std::map<int64_t, int64_t> assignments;  // task of stage (num_stages-1) -> v
+  {
+    const mhs::Cell* root_cell = row1.Find(best_z0);
+    DWM_CHECK(root_cell != nullptr && root_cell->feasible());
+    if (root_cell->count > 0) assignments[0] = best_z0;
+  }
+  out.report.driver_seconds = driver_clock.ElapsedSeconds();
+
+  // ---------------- Top-down phase: one job per stage. ----------------
+  // Note stage (num_stages - 1) was already consumed by the driver when it
+  // had a single task; otherwise assignments target it directly.
+  for (int s = num_stages - 1; s >= 0 && !assignments.empty(); --s) {
+    using Split = std::pair<int64_t, int64_t>;  // (task, incoming v)
+    std::vector<Split> splits;
+    splits.reserve(assignments.size());
+    for (const auto& [task, v] : assignments) splits.push_back({task, v});
+    std::map<int64_t, int64_t> next_assignments;
+
+    // Keys: -1 carries a selected coefficient, otherwise the key is the
+    // child task id and the value its incoming grid value.
+    mr::JobSpec<Split, int64_t, std::pair<int64_t, double>, int64_t> spec;
+    spec.name = "dmhs_down_" + std::to_string(s);
+    spec.num_reducers = 1;
+    if (s == 0) {
+      spec.split_bytes = [&](const Split&) {
+        return static_cast<double>(2 * fan) * sizeof(double);
+      };
+    } else {
+      spec.split_bytes = [&, s](const Split& split) {
+        double bytes = 0.0;
+        for (const mhs::Row& row : stage_inputs[static_cast<size_t>(s)]
+                                               [static_cast<size_t>(split.first)]) {
+          bytes += RowBytes(row);
+        }
+        return bytes;
+      };
+    }
+    spec.map = [&, s](int64_t, const Split& split, const auto& emit) {
+      const auto [task, v] = split;
+      const int64_t root_global = tasks[static_cast<size_t>(s)] + task;
+      std::vector<Coefficient> local;
+      if (s == 0) {
+        // Rebuild the pair rows of this slice and select within.
+        const int64_t leaves = 2 * fan;
+        const double* slice = data.data() + task * leaves;
+        std::vector<mhs::Row> pairs(static_cast<size_t>(fan));
+        for (int64_t u = 0; u < fan; ++u) {
+          pairs[static_cast<size_t>(u)] =
+              mhs::PairRow(slice[2 * u], slice[2 * u + 1], eps, q);
+        }
+        if (fan == 1) {
+          const mhs::Cell* cell = pairs[0].Find(v);
+          DWM_CHECK(cell != nullptr && cell->feasible());
+          if (cell->count == 1) {
+            local.push_back({root_global, (slice[0] - slice[1]) / 2.0});
+          }
+        } else {
+          const std::vector<mhs::Row> heap =
+              mhs::BuildSubtreeRows(std::move(pairs));
+          mhs::SelectInHeap(heap, root_global, q, 1, v, &local,
+                            [&](int64_t u, int64_t pv) {
+                              const double a = slice[2 * u];
+                              const double b = slice[2 * u + 1];
+                              const mhs::Row row = mhs::PairRow(a, b, eps, q);
+                              const mhs::Cell* cell = row.Find(pv);
+                              DWM_CHECK(cell != nullptr && cell->feasible());
+                              if (cell->count == 1) {
+                                local.push_back(
+                                    {LocalToGlobal(root_global, fan + u),
+                                     (a - b) / 2.0});
+                              }
+                            });
+        }
+      } else {
+        std::vector<mhs::Row> inputs =
+            stage_inputs[static_cast<size_t>(s)][static_cast<size_t>(task)];
+        const std::vector<mhs::Row> heap =
+            mhs::BuildSubtreeRows(std::move(inputs));
+        mhs::SelectInHeap(heap, root_global, q, 1, v, &local,
+                          [&](int64_t input, int64_t cv) {
+                            emit(task * fan + input,
+                                 {static_cast<int64_t>(cv), 0.0});
+                          });
+      }
+      for (const Coefficient& c : local) {
+        emit(-1, {c.index, c.value});
+      }
+    };
+    spec.reduce = [&](const int64_t& key,
+                      std::vector<std::pair<int64_t, double>>& values,
+                      std::vector<int64_t>*) {
+      if (key == -1) {
+        for (const auto& [index, value] : values) {
+          coeffs.push_back({index, value});
+        }
+      } else {
+        DWM_CHECK_EQ(values.size(), 1u);
+        next_assignments[key] = values[0].first;
+      }
+    };
+    mr::JobStats stats;
+    mr::RunJob(spec, splits, cluster, &stats);
+    out.report.jobs.push_back(stats);
+    assignments = std::move(next_assignments);
+  }
+
+  out.result.feasible = true;
+  out.result.count = best.count;
+  out.result.max_abs_error = best.err;
+  out.result.synopsis = Synopsis(n, std::move(coeffs));
+  DWM_CHECK_EQ(out.result.synopsis.size(), out.result.count);
+  return out;
+}
+
+}  // namespace dwm

@@ -1,0 +1,39 @@
+// DMHaarSpace (Section 4): the locality-preserving parallelization framework
+// (Algorithm 1) applied to the MinHaarSpace DP. The error tree is cut into
+// layers of sub-trees that each consume 2^h = `subtree_inputs` M-rows;
+// every bottom-up stage is one MapReduce job whose workers run the DP over
+// their sub-tree and emit only the local root's M-row (communication
+// O(N * eps / (delta * 2^h)), Eq. 6). The synopsis is then extracted by a
+// mirrored sequence of top-down jobs that re-enter each sub-tree with the
+// incoming value chosen by the layer above, re-running the local DP.
+#ifndef DWMAXERR_DIST_DMIN_HAAR_SPACE_H_
+#define DWMAXERR_DIST_DMIN_HAAR_SPACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/min_haar_space.h"
+#include "mr/cluster.h"
+
+namespace dwm {
+
+struct DmhsOptions {
+  double error_bound = 0.0;
+  double quantum = 1.0;
+  // Rows consumed per worker sub-tree (2^h in the paper; a power of two).
+  // Each bottom-layer worker therefore covers 2 * subtree_inputs leaves.
+  int64_t subtree_inputs = 256;
+};
+
+struct DmhsResult {
+  MhsResult result;
+  mr::SimReport report;
+};
+
+DmhsResult DMinHaarSpace(const std::vector<double>& data,
+                         const DmhsOptions& options,
+                         const mr::ClusterConfig& cluster);
+
+}  // namespace dwm
+
+#endif  // DWMAXERR_DIST_DMIN_HAAR_SPACE_H_

@@ -1,0 +1,235 @@
+#include "dist/dmin_max_var.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "common/bits.h"
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "dist/tree_partition.h"
+#include "mr/bytes.h"
+#include "mr/job.h"
+#include "wavelet/error_tree.h"
+#include "wavelet/haar.h"
+
+namespace dwm::mr {
+
+template <>
+struct Serde<mmv::Cell> {
+  static void Put(ByteBuffer& b, const mmv::Cell& c) {
+    b.PutScalar<double>(c.v);
+    b.PutScalar<int32_t>(c.y_units);
+    b.PutScalar<int32_t>(c.left_units);
+  }
+  static mmv::Cell Get(ByteReader& r) {
+    mmv::Cell c;
+    c.v = r.GetScalar<double>();
+    c.y_units = r.GetScalar<int32_t>();
+    c.left_units = r.GetScalar<int32_t>();
+    return c;
+  }
+};
+
+template <>
+struct Serde<mmv::Row> {
+  static void Put(ByteBuffer& b, const mmv::Row& row) {
+    Serde<std::vector<mmv::Cell>>::Put(b, row.cells);
+  }
+  static mmv::Row Get(ByteReader& r) {
+    mmv::Row row;
+    row.cells = Serde<std::vector<mmv::Cell>>::Get(r);
+    return row;
+  }
+};
+
+}  // namespace dwm::mr
+
+namespace dwm {
+namespace {
+
+// Replays the stored decisions of a heap of rows; emits one (global node,
+// y_units) pair per positive allotment.
+void SelectInRows(const std::vector<mmv::Row>& rows, int64_t root_global,
+                  int64_t slot, int64_t b,
+                  const std::function<void(int64_t, int32_t)>& take,
+                  const std::function<void(int64_t, int64_t)>& leaf_cb) {
+  const int64_t width = static_cast<int64_t>(rows.size());
+  const mmv::Row& row = rows[static_cast<size_t>(slot)];
+  const int64_t clamped = std::min(b, row.cap());
+  const mmv::Cell& cell = row.cells[static_cast<size_t>(clamped)];
+  if (cell.y_units > 0) {
+    take(LocalToGlobal(root_global, slot), cell.y_units);
+  }
+  if (slot >= width / 2) {
+    if (leaf_cb) {
+      leaf_cb(2 * slot - width, cell.left_units);
+      leaf_cb(2 * slot + 1 - width,
+              clamped - cell.y_units - cell.left_units);
+    }
+    return;
+  }
+  SelectInRows(rows, root_global, 2 * slot, cell.left_units, take, leaf_cb);
+  SelectInRows(rows, root_global, 2 * slot + 1,
+               clamped - cell.y_units - cell.left_units, take, leaf_cb);
+}
+
+}  // namespace
+
+DMinMaxVarResult DMinMaxVar(const std::vector<double>& data,
+                            const MinMaxVarOptions& options,
+                            int64_t base_leaves,
+                            const mr::ClusterConfig& cluster) {
+  const int64_t n = static_cast<int64_t>(data.size());
+  const TreePartition partition = MakeTreePartition(n, base_leaves);
+  const int64_t num_base = partition.num_base;
+  const int32_t q = options.resolution;
+  DWM_CHECK_GE(q, 1);
+  const int64_t budget = std::clamp<int64_t>(options.budget, 0, n);
+  const int64_t cap = budget * q;
+
+  DMinMaxVarResult out;
+  std::vector<int64_t> base_splits(static_cast<size_t>(num_base));
+  for (int64_t t = 0; t < num_base; ++t) base_splits[static_cast<size_t>(t)] = t;
+  const auto slice_bytes = [&](const int64_t&) {
+    return static_cast<double>(base_leaves) * sizeof(double);
+  };
+
+  // ---- Job 1 (bottom-up): every base worker runs the DP over its local
+  // detail sub-tree and emits only the local root's M-row plus the slice
+  // average (Algorithm 1 lines 5-8). ----
+  std::vector<mmv::Row> base_rows(static_cast<size_t>(num_base));
+  std::vector<double> averages(static_cast<size_t>(num_base), 0.0);
+  {
+    mr::JobSpec<int64_t, int64_t, std::pair<double, mmv::Row>, int64_t> spec;
+    spec.name = "dminmaxvar_up";
+    spec.num_reducers = 1;
+    spec.split_bytes = slice_bytes;
+    spec.map = [&](int64_t, const int64_t& t, const auto& emit) {
+      std::vector<double> slice(data.begin() + t * base_leaves,
+                                data.begin() + (t + 1) * base_leaves);
+      const std::vector<double> local = ForwardHaar(slice);
+      std::vector<mmv::Row> rows = mmv::BuildSubtreeRows(local, q, cap);
+      emit(t, {local[0], std::move(rows[1])});
+    };
+    spec.reduce = [&](const int64_t& t,
+                      std::vector<std::pair<double, mmv::Row>>& values,
+                      std::vector<int64_t>*) {
+      DWM_CHECK_EQ(values.size(), 1u);
+      averages[static_cast<size_t>(t)] = values[0].first;
+      base_rows[static_cast<size_t>(t)] = std::move(values[0].second);
+    };
+    mr::JobStats stats;
+    mr::RunJob(spec, base_splits, cluster, &stats);
+    out.report.jobs.push_back(stats);
+  }
+
+  // ---- Driver (the topmost sub-tree, Algorithm 1 line 11): combine the
+  // base rows up the root sub-tree, choose c_0, select top-down. ----
+  Stopwatch driver_clock;
+  const std::vector<double> root_coeffs = ForwardHaar(averages);
+  std::vector<mmv::Row> top_rows(static_cast<size_t>(num_base));
+  for (int64_t slot = num_base - 1; slot >= 1; --slot) {
+    const int64_t nodes_below =
+        (n >> NodeLevel(slot)) - 1;  // global subtree size
+    const int64_t slot_cap = std::min<int64_t>(cap, nodes_below * q);
+    const mmv::Row& left = slot >= num_base / 2
+                               ? base_rows[static_cast<size_t>(2 * slot - num_base)]
+                               : top_rows[static_cast<size_t>(2 * slot)];
+    const mmv::Row& right =
+        slot >= num_base / 2
+            ? base_rows[static_cast<size_t>(2 * slot + 1 - num_base)]
+            : top_rows[static_cast<size_t>(2 * slot + 1)];
+    top_rows[static_cast<size_t>(slot)] = mmv::CombineRows(
+        root_coeffs[static_cast<size_t>(slot)], left, right, q, slot_cap);
+  }
+  mmv::Cell best;
+  for (int32_t y = 0; y <= static_cast<int32_t>(std::min<int64_t>(cap, q));
+       ++y) {
+    const double own = mmv::Penalty(root_coeffs[0], y, q);
+    const int64_t left = std::min<int64_t>(cap - y, top_rows[1].cap());
+    const double v = own + top_rows[1].cells[static_cast<size_t>(left)].v;
+    if (v < best.v) best = {v, y, static_cast<int32_t>(left)};
+  }
+  out.result.max_path_penalty = best.v;
+
+  std::vector<Coefficient> kept;
+  int64_t spent_units = 0;
+  auto take_root = [&](int64_t node, int32_t y_units) {
+    spent_units += y_units;
+    out.result.allocations.push_back({node, y_units});
+    const double c = root_coeffs[static_cast<size_t>(node)];
+    if (mmv::RetainCoin(options.seed, node, y_units, q) && c != 0.0) {
+      kept.push_back({node, c * q / y_units});
+    }
+  };
+  if (best.y_units > 0) take_root(0, best.y_units);
+  std::map<int64_t, int64_t> assignments;  // base t -> allotment units
+  {
+    // The root sub-tree heap: slot s has children 2s/2s+1, which are base
+    // rows for s >= num_base/2. SelectInRows handles both levels; its
+    // leaf_cb receives the base index and its allotment.
+    SelectInRows(top_rows, /*root_global=*/1, 1, best.left_units, take_root,
+                 [&](int64_t base, int64_t b) {
+                   if (b > 0) assignments[base] = b;
+                 });
+  }
+  out.report.driver_seconds = driver_clock.ElapsedSeconds();
+
+  // ---- Job 2 (top-down re-entry): each assigned base worker recomputes
+  // its local DP and materializes its choices. ----
+  if (!assignments.empty()) {
+    using Split = std::pair<int64_t, int64_t>;  // (base, allotment units)
+    std::vector<Split> splits(assignments.begin(), assignments.end());
+    mr::JobSpec<Split, int64_t, std::pair<double, int64_t>, Coefficient> spec;
+    spec.name = "dminmaxvar_down";
+    spec.num_reducers = 1;
+    spec.split_bytes = [&](const Split&) {
+      return static_cast<double>(base_leaves) * sizeof(double);
+    };
+    spec.map = [&](int64_t, const Split& split, const auto& emit) {
+      const auto [t, b] = split;
+      std::vector<double> slice(data.begin() + t * base_leaves,
+                                data.begin() + (t + 1) * base_leaves);
+      const std::vector<double> local = ForwardHaar(slice);
+      const std::vector<mmv::Row> rows = mmv::BuildSubtreeRows(local, q, cap);
+      const int64_t root = partition.BaseRoot(t);
+      SelectInRows(rows, root, 1, b,
+                   [&](int64_t node, int32_t y_units) {
+                     // Invert LocalToGlobal to read the local value.
+                     int64_t depth = 0;
+                     for (int64_t g = node; g > root; g >>= 1) ++depth;
+                     const int64_t local_slot =
+                         (int64_t{1} << depth) +
+                         (node - root * (int64_t{1} << depth));
+                     const double c = local[static_cast<size_t>(local_slot)];
+                     emit(y_units, {c, node});
+                   },
+                   nullptr);
+    };
+    spec.reduce = [&](const int64_t& y_units,
+                      std::vector<std::pair<double, int64_t>>& values,
+                      std::vector<Coefficient>* result) {
+      for (const auto& [c, node] : values) {
+        spent_units += y_units;
+        out.result.allocations.push_back(
+            {node, static_cast<int32_t>(y_units)});
+        if (mmv::RetainCoin(options.seed, node, static_cast<int32_t>(y_units), q) &&
+            c != 0.0) {
+          result->push_back({node, c * q / y_units});
+        }
+      }
+    };
+    mr::JobStats stats;
+    const std::vector<Coefficient> base_kept =
+        mr::RunJob(spec, splits, cluster, &stats);
+    out.report.jobs.push_back(stats);
+    kept.insert(kept.end(), base_kept.begin(), base_kept.end());
+  }
+
+  out.result.expected_space_units = spent_units;
+  out.result.synopsis = Synopsis(n, std::move(kept));
+  return out;
+}
+
+}  // namespace dwm

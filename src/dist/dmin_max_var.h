@@ -1,0 +1,37 @@
+// DMinMaxVar: the Section-4 framework applied to the MinMaxVar DP (the
+// paper's Figure 2/3 walkthrough): base sub-tree workers run the DP over
+// their local coefficients and emit only the local root's M-row; the top
+// worker combines them through the root sub-tree, selects top-down, and a
+// second job re-enters each base sub-tree to materialize its choices.
+//
+// The emitted M-row has O(B q) cells (Equation 6 with max|M[j]| = O(B
+// delta)), which is exactly the communication/memory blowup the paper
+// cites as the reason to prefer the dual-problem DP (DMHaarSpace, whose
+// rows are O(eps/delta)). bench_ablation_dp_rows measures the two side by
+// side.
+#ifndef DWMAXERR_DIST_DMIN_MAX_VAR_H_
+#define DWMAXERR_DIST_DMIN_MAX_VAR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/min_max_var.h"
+#include "mr/cluster.h"
+
+namespace dwm {
+
+struct DMinMaxVarResult {
+  MinMaxVarResult result;
+  mr::SimReport report;
+};
+
+// `base_leaves` is the leaves-per-base-sub-tree partition parameter (a
+// power of two, >= 2, <= n/2).
+DMinMaxVarResult DMinMaxVar(const std::vector<double>& data,
+                            const MinMaxVarOptions& options,
+                            int64_t base_leaves,
+                            const mr::ClusterConfig& cluster);
+
+}  // namespace dwm
+
+#endif  // DWMAXERR_DIST_DMIN_MAX_VAR_H_

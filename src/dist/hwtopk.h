@@ -1,0 +1,26 @@
+// H-WTopk (Appendix A.4, from Jestes et al. VLDB'11): three-round TPUT-style
+// distributed top-B for the conventional synopsis, pruning coefficients that
+// cannot be in the top-B by magnitude bounds on their partial sums. Handles
+// both positive and negative coefficient values.
+//
+// Round 1 emits each mapper's B highest and B lowest partial values, so for
+// B = N/8 the algorithm ships ~2x its input and dominates only when B is
+// tiny relative to the mapper input (Figures 10 and 11).
+#ifndef DWMAXERR_DIST_HWTOPK_H_
+#define DWMAXERR_DIST_HWTOPK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/dist_common.h"
+#include "mr/cluster.h"
+
+namespace dwm {
+
+DistSynopsisResult RunHWTopk(const std::vector<double>& data, int64_t budget,
+                             int64_t num_mappers,
+                             const mr::ClusterConfig& cluster);
+
+}  // namespace dwm
+
+#endif  // DWMAXERR_DIST_HWTOPK_H_

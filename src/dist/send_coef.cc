@@ -1,0 +1,87 @@
+#include "dist/send_coef.h"
+
+#include <algorithm>
+
+#include "common/bits.h"
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "dist/tree_partition.h"
+#include "mr/job.h"
+#include "wavelet/error_tree.h"
+
+namespace dwm {
+
+DistSynopsisResult RunSendCoef(const std::vector<double>& data, int64_t budget,
+                               int64_t num_mappers,
+                               const mr::ClusterConfig& cluster) {
+  const int64_t n = static_cast<int64_t>(data.size());
+  DWM_CHECK(IsPowerOfTwo(static_cast<uint64_t>(n)));
+  DWM_CHECK_GE(num_mappers, 1);
+  num_mappers = std::min(num_mappers, n);
+
+  dist_internal::TopBySignificance top(budget);
+
+  using Split = std::pair<int64_t, int64_t>;  // [begin, end), not aligned
+  mr::JobSpec<Split, int64_t, double, int64_t> spec;
+  spec.name = "send_coef";
+  spec.num_reducers = 1;
+  spec.split_bytes = [](const Split& s) {
+    return static_cast<double>(s.second - s.first) * sizeof(double);
+  };
+  spec.map = [&](int64_t, const Split& split, const auto& emit) {
+    const auto [begin, end] = split;
+    // Fully contained coefficients: transform each maximal aligned block
+    // and emit its detail coefficients once, exactly valued.
+    for (const AlignedBlock& block : AlignedBlocks(begin, end)) {
+      if (block.size < 2) continue;
+      std::vector<double> slice(data.begin() + block.begin,
+                                data.begin() + block.begin + block.size);
+      const std::vector<double> local = ForwardHaar(slice);
+      const int64_t root = n / block.size + block.begin / block.size;
+      for (int64_t s = 1; s < block.size; ++s) {
+        emit(LocalToGlobal(root, s), local[static_cast<size_t>(s)]);
+      }
+    }
+    // Straddling ancestors: per-datapoint partial contributions
+    // (Algorithm 7's "partially computed" loop).
+    for (int64_t i = begin; i < end; ++i) {
+      const double value = data[static_cast<size_t>(i)];
+      int64_t node = LeafParent(n, i);
+      while (node >= 1) {
+        const LeafRange range = NodeLeafRange(n, node);
+        if (range.first < begin || range.first + range.count > end) break;
+        node >>= 1;  // fully contained: already emitted by its block
+      }
+      for (; node >= 1; node >>= 1) {
+        const LeafRange range = NodeLeafRange(n, node);
+        const int sign = LeafSign(n, node, i);
+        emit(node, sign * value / static_cast<double>(range.count));
+      }
+      emit(0, value / static_cast<double>(n));
+    }
+  };
+  spec.reduce = [&](const int64_t& key, std::vector<double>& values,
+                    std::vector<int64_t>*) {
+    double total = 0.0;
+    for (double v : values) total += v;
+    top.Offer(key, total);
+  };
+
+  std::vector<Split> splits;
+  const int64_t chunk = (n + num_mappers - 1) / num_mappers;
+  for (int64_t begin = 0; begin < n; begin += chunk) {
+    splits.push_back({begin, std::min(n, begin + chunk)});
+  }
+
+  DistSynopsisResult result;
+  mr::JobStats stats;
+  mr::RunJob(spec, splits, cluster, &stats);
+  Stopwatch finalize;
+  result.synopsis = Synopsis(n, top.Take());
+  stats.reduce_makespan_seconds +=
+      finalize.ElapsedSeconds() * cluster.compute_scale;
+  result.report.jobs.push_back(stats);
+  return result;
+}
+
+}  // namespace dwm

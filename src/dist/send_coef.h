@@ -1,0 +1,25 @@
+// Send-Coef (Appendix A.3, from Jestes et al. VLDB'11): conventional
+// synopsis construction with *non-aligned* splits. Each mapper fully
+// computes the coefficients whose subtrees lie inside its split (one
+// emission each) and, per datapoint, the partial contribution d_i / W to
+// every straddling ancestor on its path (Algorithm 7) — the per-datapoint
+// emissions are what give Send-Coef its O(S (log N - log S)) communication
+// and make it lose to the locality-preserving CON.
+#ifndef DWMAXERR_DIST_SEND_COEF_H_
+#define DWMAXERR_DIST_SEND_COEF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/dist_common.h"
+#include "mr/cluster.h"
+
+namespace dwm {
+
+DistSynopsisResult RunSendCoef(const std::vector<double>& data, int64_t budget,
+                               int64_t num_mappers,
+                               const mr::ClusterConfig& cluster);
+
+}  // namespace dwm
+
+#endif  // DWMAXERR_DIST_SEND_COEF_H_

@@ -1,0 +1,62 @@
+#include "dist/send_v.h"
+
+#include <algorithm>
+
+#include "common/bits.h"
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "core/conventional.h"
+#include "mr/job.h"
+
+namespace dwm {
+
+DistSynopsisResult RunSendV(const std::vector<double>& data, int64_t budget,
+                            int64_t num_mappers,
+                            const mr::ClusterConfig& cluster) {
+  const int64_t n = static_cast<int64_t>(data.size());
+  DWM_CHECK(IsPowerOfTwo(static_cast<uint64_t>(n)));
+  DWM_CHECK_GE(num_mappers, 1);
+  num_mappers = std::min(num_mappers, n);
+
+  std::vector<double> collected(static_cast<size_t>(n), 0.0);
+
+  // Splits are (begin, end) ranges; mappers forward (leaf index, value).
+  using Split = std::pair<int64_t, int64_t>;
+  mr::JobSpec<Split, int64_t, double, int64_t> spec;
+  spec.name = "send_v";
+  spec.num_reducers = 1;
+  spec.split_bytes = [](const Split& s) {
+    return static_cast<double>(s.second - s.first) * sizeof(double);
+  };
+  spec.map = [&](int64_t, const Split& split, const auto& emit) {
+    for (int64_t i = split.first; i < split.second; ++i) {
+      emit(i, data[static_cast<size_t>(i)]);
+    }
+  };
+  spec.reduce = [&](const int64_t& key, std::vector<double>& values,
+                    std::vector<int64_t>*) {
+    DWM_CHECK_EQ(values.size(), 1u);
+    collected[static_cast<size_t>(key)] = values[0];
+  };
+
+  std::vector<Split> splits;
+  const int64_t chunk = (n + num_mappers - 1) / num_mappers;
+  for (int64_t begin = 0; begin < n; begin += chunk) {
+    splits.push_back({begin, std::min(n, begin + chunk)});
+  }
+
+  DistSynopsisResult result;
+  mr::JobStats stats;
+  mr::RunJob(spec, splits, cluster, &stats);
+
+  // Reducer cleanup: the full centralized pipeline — this sequential step
+  // is exactly why Send-V does not scale (Figure 10).
+  Stopwatch finalize;
+  result.synopsis = ConventionalFromCoeffs(ForwardHaar(collected), budget);
+  stats.reduce_makespan_seconds +=
+      finalize.ElapsedSeconds() * cluster.compute_scale;
+  result.report.jobs.push_back(stats);
+  return result;
+}
+
+}  // namespace dwm

@@ -1,0 +1,22 @@
+// Send-V (Appendix A.2): the degenerate baseline from Jestes et al. — when
+// the transform is applied directly to the data (no histogram), the mappers
+// just forward their values and the single reducer computes the whole
+// decomposition and thresholds it sequentially.
+#ifndef DWMAXERR_DIST_SEND_V_H_
+#define DWMAXERR_DIST_SEND_V_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/dist_common.h"
+#include "mr/cluster.h"
+
+namespace dwm {
+
+DistSynopsisResult RunSendV(const std::vector<double>& data, int64_t budget,
+                            int64_t num_mappers,
+                            const mr::ClusterConfig& cluster);
+
+}  // namespace dwm
+
+#endif  // DWMAXERR_DIST_SEND_V_H_

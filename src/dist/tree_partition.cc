@@ -1,0 +1,70 @@
+#include "dist/tree_partition.h"
+
+#include "common/bits.h"
+#include "common/check.h"
+#include "wavelet/error_tree.h"
+
+namespace dwm {
+
+TreePartition MakeTreePartition(int64_t n, int64_t base_leaves) {
+  DWM_CHECK(IsPowerOfTwo(static_cast<uint64_t>(n)));
+  DWM_CHECK(IsPowerOfTwo(static_cast<uint64_t>(base_leaves)));
+  DWM_CHECK_GE(n, 4);
+  DWM_CHECK_GE(base_leaves, 2);
+  DWM_CHECK_LE(base_leaves, n / 2);
+  TreePartition partition;
+  partition.n = n;
+  partition.base_leaves = base_leaves;
+  partition.num_base = n / base_leaves;
+  return partition;
+}
+
+double IncomingErrorContribution(const TreePartition& partition, int64_t t,
+                                 int64_t root_node, double value) {
+  DWM_CHECK_GE(root_node, 0);
+  DWM_CHECK_LT(root_node, partition.num_base);
+  const int64_t begin = partition.SliceBegin(t);
+  if (root_node == 0) return -value;
+  const LeafRange range = NodeLeafRange(partition.n, root_node);
+  if (begin < range.first || begin >= range.first + range.count) return 0.0;
+  const int sign = begin < range.first + range.count / 2 ? +1 : -1;
+  return -sign * value;
+}
+
+std::vector<AlignedBlock> AlignedBlocks(int64_t begin, int64_t end) {
+  DWM_CHECK_LE(begin, end);
+  DWM_CHECK_GE(begin, 0);
+  std::vector<AlignedBlock> blocks;
+  int64_t lo = begin;
+  while (lo < end) {
+    // Largest power of two that both divides lo and fits in [lo, end).
+    int64_t size = lo == 0 ? NextPowerOfTwo(static_cast<uint64_t>(end))
+                           : (lo & -lo);
+    while (lo + size > end) size /= 2;
+    blocks.push_back({lo, size});
+    lo += size;
+  }
+  return blocks;
+}
+
+std::vector<int64_t> LayerSubtreeCounts(int64_t n, int height) {
+  DWM_CHECK(IsPowerOfTwo(static_cast<uint64_t>(n)));
+  DWM_CHECK_GE(height, 1);
+  // The bottom layer consumes the n/2 pair nodes in groups of 2^height;
+  // every further layer reduces the width by 2^height until one sub-tree
+  // remains.
+  std::vector<int64_t> counts;
+  int64_t width = n / 2;  // inputs feeding the next layer
+  const int64_t fan = int64_t{1} << height;
+  for (;;) {
+    if (width <= fan) {
+      counts.push_back(1);
+      break;
+    }
+    width /= fan;
+    counts.push_back(width);
+  }
+  return counts;
+}
+
+}  // namespace dwm

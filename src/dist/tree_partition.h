@@ -1,0 +1,53 @@
+// Locality-preserving error-tree partitioning (Sections 4 and 5.2):
+// one *root sub-tree* of R coefficient nodes (c_0 .. c_{R-1}) plus R *base
+// sub-trees*, the t-th rooted at node R + t and covering the aligned data
+// slice [t * L, (t+1) * L) with L leaves (so each base sub-tree holds
+// S = L - 1 coefficients and N = R + R*S).
+//
+// Also provides the layer arithmetic of Equation 4 used by the DP
+// parallelization framework.
+#ifndef DWMAXERR_DIST_TREE_PARTITION_H_
+#define DWMAXERR_DIST_TREE_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dwm {
+
+struct TreePartition {
+  int64_t n = 0;            // data size (power of two)
+  int64_t base_leaves = 0;  // L, leaves per base sub-tree (power of two)
+  int64_t num_base = 0;     // R = n / L, also the root sub-tree node count
+
+  int64_t BaseRoot(int64_t t) const { return num_base + t; }
+  int64_t SliceBegin(int64_t t) const { return t * base_leaves; }
+};
+
+// Validates and builds the partition. Requires n >= 4, 2 <= base_leaves and
+// base_leaves <= n / 2 (at least two base sub-trees).
+TreePartition MakeTreePartition(int64_t n, int64_t base_leaves);
+
+// Signed error added to every data leaf of base sub-tree t when root
+// sub-tree node `root_node` (with coefficient `value`) is *discarded*:
+// -delta * value, where delta is the side of t under root_node (+1 left /
+// average, -1 right), or 0 if root_node is not an ancestor of the base root.
+double IncomingErrorContribution(const TreePartition& partition, int64_t t,
+                                 int64_t root_node, double value);
+
+// Equation 4: the number of sub-trees in each layer when an error tree over
+// n leaves is decomposed into sub-trees of height h (each consuming 2^h
+// inputs). Layer 0 is the bottommost; the final layer has one sub-tree.
+std::vector<int64_t> LayerSubtreeCounts(int64_t n, int height);
+
+// Decomposes [begin, end) into maximal aligned power-of-two blocks (each
+// block is the exact leaf range of one error-tree node). Used by the
+// Send-Coef-style mappers whose splits are not power-of-two aligned.
+struct AlignedBlock {
+  int64_t begin = 0;
+  int64_t size = 0;
+};
+std::vector<AlignedBlock> AlignedBlocks(int64_t begin, int64_t end);
+
+}  // namespace dwm
+
+#endif  // DWMAXERR_DIST_TREE_PARTITION_H_

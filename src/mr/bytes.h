@@ -1,0 +1,134 @@
+// Byte-buffer serialization for the MapReduce substrate. Every key/value
+// that crosses the map->reduce boundary is serialized through Serde<T>, so
+// shuffle sizes reported by the engine are byte-accurate (this is what the
+// paper's communication analysis, Eq. 6, is validated against).
+#ifndef DWMAXERR_MR_BYTES_H_
+#define DWMAXERR_MR_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace dwm::mr {
+
+class ByteBuffer {
+ public:
+  void PutRaw(const void* src, size_t len) {
+    const size_t old = data_.size();
+    data_.resize(old + len);
+    std::memcpy(data_.data() + old, src, len);
+  }
+  template <typename T>
+  void PutScalar(T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    PutRaw(&v, sizeof(T));
+  }
+
+  size_t size() const { return data_.size(); }
+  const uint8_t* data() const { return data_.data(); }
+  void clear() { data_.clear(); }
+
+ private:
+  std::vector<uint8_t> data_;
+};
+
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size)
+      : data_(data), size_(size), pos_(0) {}
+  explicit ByteReader(const ByteBuffer& buf)
+      : ByteReader(buf.data(), buf.size()) {}
+
+  void GetRaw(void* dst, size_t len) {
+    DWM_CHECK_LE(pos_ + len, size_);
+    std::memcpy(dst, data_ + pos_, len);
+    pos_ += len;
+  }
+  template <typename T>
+  T GetScalar() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v;
+    GetRaw(&v, sizeof(T));
+    return v;
+  }
+
+  bool Done() const { return pos_ >= size_; }
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_;
+};
+
+// Serialization trait; specialize for custom key/value structs.
+template <typename T>
+struct Serde;
+
+template <>
+struct Serde<int32_t> {
+  static void Put(ByteBuffer& b, int32_t v) { b.PutScalar(v); }
+  static int32_t Get(ByteReader& r) { return r.GetScalar<int32_t>(); }
+};
+template <>
+struct Serde<int64_t> {
+  static void Put(ByteBuffer& b, int64_t v) { b.PutScalar(v); }
+  static int64_t Get(ByteReader& r) { return r.GetScalar<int64_t>(); }
+};
+template <>
+struct Serde<uint64_t> {
+  static void Put(ByteBuffer& b, uint64_t v) { b.PutScalar(v); }
+  static uint64_t Get(ByteReader& r) { return r.GetScalar<uint64_t>(); }
+};
+template <>
+struct Serde<double> {
+  static void Put(ByteBuffer& b, double v) { b.PutScalar(v); }
+  static double Get(ByteReader& r) { return r.GetScalar<double>(); }
+};
+template <>
+struct Serde<std::string> {
+  static void Put(ByteBuffer& b, const std::string& v) {
+    b.PutScalar<uint32_t>(static_cast<uint32_t>(v.size()));
+    b.PutRaw(v.data(), v.size());
+  }
+  static std::string Get(ByteReader& r) {
+    const uint32_t len = r.GetScalar<uint32_t>();
+    std::string v(len, '\0');
+    r.GetRaw(v.data(), len);
+    return v;
+  }
+};
+template <typename A, typename B>
+struct Serde<std::pair<A, B>> {
+  static void Put(ByteBuffer& b, const std::pair<A, B>& v) {
+    Serde<A>::Put(b, v.first);
+    Serde<B>::Put(b, v.second);
+  }
+  static std::pair<A, B> Get(ByteReader& r) {
+    A a = Serde<A>::Get(r);
+    B b2 = Serde<B>::Get(r);
+    return {std::move(a), std::move(b2)};
+  }
+};
+template <typename T>
+struct Serde<std::vector<T>> {
+  static void Put(ByteBuffer& b, const std::vector<T>& v) {
+    b.PutScalar<uint64_t>(v.size());
+    for (const T& x : v) Serde<T>::Put(b, x);
+  }
+  static std::vector<T> Get(ByteReader& r) {
+    const uint64_t n = r.GetScalar<uint64_t>();
+    std::vector<T> v;
+    v.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) v.push_back(Serde<T>::Get(r));
+    return v;
+  }
+};
+
+}  // namespace dwm::mr
+
+#endif  // DWMAXERR_MR_BYTES_H_

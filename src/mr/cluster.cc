@@ -1,0 +1,47 @@
+#include "mr/cluster.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.h"
+
+namespace dwm::mr {
+
+JobStats RescheduleJob(const JobStats& job, const ClusterConfig& config) {
+  JobStats out = job;
+  out.map_makespan_seconds =
+      ScheduleMakespan(job.map_task_seconds, config.map_slots);
+  out.reduce_makespan_seconds =
+      ScheduleMakespan(job.reduce_task_seconds, config.reduce_slots);
+  return out;
+}
+
+SimReport RescheduleReport(const SimReport& report,
+                           const ClusterConfig& config) {
+  SimReport out;
+  out.driver_seconds = report.driver_seconds;
+  out.jobs.reserve(report.jobs.size());
+  for (const JobStats& job : report.jobs) {
+    out.jobs.push_back(RescheduleJob(job, config));
+  }
+  return out;
+}
+
+double ScheduleMakespan(const std::vector<double>& task_seconds, int slots) {
+  DWM_CHECK_GE(slots, 1);
+  if (task_seconds.empty()) return 0.0;
+  // Min-heap of slot free times.
+  std::priority_queue<double, std::vector<double>, std::greater<double>> free_at;
+  for (int s = 0; s < slots; ++s) free_at.push(0.0);
+  double makespan = 0.0;
+  for (double t : task_seconds) {
+    const double start = free_at.top();
+    free_at.pop();
+    const double end = start + std::max(t, 0.0);
+    free_at.push(end);
+    makespan = std::max(makespan, end);
+  }
+  return makespan;
+}
+
+}  // namespace dwm::mr

@@ -1,0 +1,92 @@
+// Cluster cost model: turns the *measured* per-task compute times and
+// byte-accurate shuffle volumes produced by the job engine into a simulated
+// job makespan on a cluster with a configurable number of map/reduce slots.
+//
+// Rationale (see DESIGN.md): the paper evaluates on a 9-node Hadoop 2.6
+// cluster (40 map / 16 reduce slots). This sandbox has one core, so real
+// parallel speedup is unobservable; per-task work and communication are
+// measured for real and only the slot scheduling is modeled. All the
+// scalability figures (5a-5d) plot exactly this simulated job time.
+#ifndef DWMAXERR_MR_CLUSTER_H_
+#define DWMAXERR_MR_CLUSTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dwm::mr {
+
+struct ClusterConfig {
+  // Paper platform: 8 slaves x 5 map slots and 8 x 2 reduce slots.
+  int map_slots = 40;
+  int reduce_slots = 16;
+  // Hadoop container launch per task and per-job submission overhead.
+  double task_startup_seconds = 1.0;
+  double job_overhead_seconds = 6.0;
+  // Aggregate shuffle bandwidth and HDFS scan bandwidth.
+  double network_bytes_per_second = 100.0e6;
+  double storage_bytes_per_second = 400.0e6;
+  // Calibration multiplier applied to measured CPU seconds (e.g. to model
+  // the paper's 2 GHz Xeons or a JVM tax); 1.0 = this machine.
+  double compute_scale = 1.0;
+};
+
+// Completion time of `task_seconds` scheduled FIFO onto `slots` identical
+// slots (each next task starts on the earliest-free slot).
+double ScheduleMakespan(const std::vector<double>& task_seconds, int slots);
+
+// Everything measured/modeled about one MapReduce job.
+struct JobStats {
+  std::string name;
+  int64_t map_tasks = 0;
+  int64_t reduce_tasks = 0;
+  int64_t input_bytes = 0;
+  int64_t shuffle_bytes = 0;
+  int64_t shuffle_records = 0;
+  int64_t output_records = 0;
+  double map_makespan_seconds = 0.0;     // modeled (slots applied)
+  double shuffle_seconds = 0.0;          // modeled transfer time
+  double reduce_makespan_seconds = 0.0;  // modeled (slots applied)
+  double job_overhead_seconds = 0.0;
+  double real_seconds = 0.0;  // wall time this process actually spent
+  // Per-task times (startup + scaled compute + storage reads) that fed the
+  // makespans; kept so a run can be *re-scheduled* onto a different slot
+  // count without re-executing (see RescheduleJob).
+  std::vector<double> map_task_seconds;
+  std::vector<double> reduce_task_seconds;
+
+  double sim_seconds() const {
+    return map_makespan_seconds + shuffle_seconds + reduce_makespan_seconds +
+           job_overhead_seconds;
+  }
+};
+
+// Accumulated report for a (possibly multi-job) distributed algorithm run.
+struct SimReport {
+  std::vector<JobStats> jobs;
+  // Work executed on the driver between jobs (e.g. genRootSets), measured.
+  double driver_seconds = 0.0;
+
+  double total_sim_seconds() const {
+    double total = driver_seconds;
+    for (const JobStats& j : jobs) total += j.sim_seconds();
+    return total;
+  }
+  int64_t total_shuffle_bytes() const {
+    int64_t total = 0;
+    for (const JobStats& j : jobs) total += j.shuffle_bytes;
+    return total;
+  }
+  int64_t total_jobs() const { return static_cast<int64_t>(jobs.size()); }
+};
+
+// Recomputes a job's (or report's) makespans for a different slot count,
+// reusing the recorded per-task times. Only the slot counts of `config`
+// are applied; per-task costs stay as measured under the original run.
+JobStats RescheduleJob(const JobStats& job, const ClusterConfig& config);
+SimReport RescheduleReport(const SimReport& report,
+                           const ClusterConfig& config);
+
+}  // namespace dwm::mr
+
+#endif  // DWMAXERR_MR_CLUSTER_H_

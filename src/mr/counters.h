@@ -1,0 +1,30 @@
+// Named job counters (records/bytes emitted, runs executed, ...), in the
+// spirit of Hadoop counters. Deterministic across runs.
+#ifndef DWMAXERR_MR_COUNTERS_H_
+#define DWMAXERR_MR_COUNTERS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace dwm::mr {
+
+class Counters {
+ public:
+  void Add(const std::string& name, int64_t delta) { values_[name] += delta; }
+  int64_t Get(const std::string& name) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? 0 : it->second;
+  }
+  const std::map<std::string, int64_t>& values() const { return values_; }
+  void MergeFrom(const Counters& other) {
+    for (const auto& [name, v] : other.values_) values_[name] += v;
+  }
+
+ private:
+  std::map<std::string, int64_t> values_;
+};
+
+}  // namespace dwm::mr
+
+#endif  // DWMAXERR_MR_COUNTERS_H_

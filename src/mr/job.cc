@@ -1,0 +1,6 @@
+// The engine is header-only (templates); this TU just ensures the headers
+// are self-contained.
+#include "mr/job.h"
+
+#include "mr/bytes.h"
+#include "mr/counters.h"

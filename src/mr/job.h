@@ -1,0 +1,173 @@
+// The MapReduce job engine. Deterministic, single-process execution with
+// real per-task time measurement and byte-accurate shuffles; the cluster
+// cost model (cluster.h) turns those into simulated job times.
+//
+// Semantics mirror Hadoop's: map tasks run over input splits and emit typed
+// (K, V) pairs, the engine serializes each pair into the buffer of the
+// reducer selected by the partitioner, reducers sort their input by key and
+// invoke reduce once per distinct key. Reducers may start only after all
+// maps finish (no slowstart), which is what the paper's job-time plots show.
+#ifndef DWMAXERR_MR_JOB_H_
+#define DWMAXERR_MR_JOB_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "mr/bytes.h"
+#include "mr/cluster.h"
+#include "mr/counters.h"
+
+namespace dwm::mr {
+
+// Deterministic bytewise FNV-1a, the default partitioner hash.
+inline uint64_t FnvHash(const uint8_t* data, size_t len) {
+  uint64_t h = 1469598103934665603ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+template <typename K>
+int HashPartition(const K& key, int num_reducers) {
+  ByteBuffer buf;
+  Serde<K>::Put(buf, key);
+  return static_cast<int>(FnvHash(buf.data(), buf.size()) %
+                          static_cast<uint64_t>(num_reducers));
+}
+
+template <typename Split, typename K, typename V, typename Out>
+struct JobSpec {
+  std::string name;
+  // map(task_id, split, emit): called once per split.
+  std::function<void(int64_t, const Split&,
+                     const std::function<void(const K&, const V&)>&)>
+      map;
+  // reduce(key, values, out): called once per distinct key, keys ascending.
+  std::function<void(const K&, std::vector<V>&, std::vector<Out>*)> reduce;
+  int num_reducers = 1;
+  // reducer index for a key; defaults to hash partitioning.
+  std::function<int(const K&)> partition;
+  // key ordering used by the shuffle sort; defaults to operator<.
+  std::function<bool(const K&, const K&)> key_less;
+  // bytes scanned from storage by a map task; drives the HDFS-read cost.
+  std::function<double(const Split&)> split_bytes;
+};
+
+// Runs the job and returns the concatenated reducer outputs (in reducer
+// order). Fills `stats` (required) and merges per-job counters into
+// `counters` if non-null.
+template <typename Split, typename K, typename V, typename Out>
+std::vector<Out> RunJob(const JobSpec<Split, K, V, Out>& spec,
+                        const std::vector<Split>& splits,
+                        const ClusterConfig& config, JobStats* stats,
+                        Counters* counters = nullptr) {
+  DWM_CHECK(stats != nullptr);
+  DWM_CHECK_GE(spec.num_reducers, 1);
+  const auto partition =
+      spec.partition ? spec.partition : [&spec](const K& key) {
+        return HashPartition<K>(key, spec.num_reducers);
+      };
+  const auto key_less = spec.key_less
+                            ? spec.key_less
+                            : [](const K& a, const K& b) { return a < b; };
+
+  stats->name = spec.name;
+  stats->map_tasks = static_cast<int64_t>(splits.size());
+  stats->reduce_tasks = spec.num_reducers;
+  stats->job_overhead_seconds = config.job_overhead_seconds;
+
+  Stopwatch total_clock;
+  std::vector<ByteBuffer> shuffle(static_cast<size_t>(spec.num_reducers));
+  std::vector<double> map_seconds;
+  map_seconds.reserve(splits.size());
+  int64_t shuffle_records = 0;
+
+  for (int64_t task = 0; task < static_cast<int64_t>(splits.size()); ++task) {
+    const Split& split = splits[static_cast<size_t>(task)];
+    const double in_bytes = spec.split_bytes ? spec.split_bytes(split) : 0.0;
+    stats->input_bytes += static_cast<int64_t>(in_bytes);
+    Stopwatch clock;
+    auto emit = [&](const K& key, const V& value) {
+      const int r = partition(key);
+      DWM_CHECK_GE(r, 0);
+      DWM_CHECK_LT(r, spec.num_reducers);
+      ByteBuffer& buf = shuffle[static_cast<size_t>(r)];
+      Serde<K>::Put(buf, key);
+      Serde<V>::Put(buf, value);
+      ++shuffle_records;
+    };
+    spec.map(task, split, emit);
+    map_seconds.push_back(clock.ElapsedSeconds() * config.compute_scale +
+                          config.task_startup_seconds +
+                          in_bytes / config.storage_bytes_per_second);
+  }
+
+  int64_t shuffle_bytes = 0;
+  for (const ByteBuffer& buf : shuffle) {
+    shuffle_bytes += static_cast<int64_t>(buf.size());
+  }
+  stats->shuffle_bytes = shuffle_bytes;
+  stats->shuffle_records = shuffle_records;
+
+  std::vector<Out> output;
+  std::vector<double> reduce_seconds;
+  reduce_seconds.reserve(static_cast<size_t>(spec.num_reducers));
+  for (int r = 0; r < spec.num_reducers; ++r) {
+    Stopwatch clock;
+    ByteReader reader(shuffle[static_cast<size_t>(r)]);
+    std::vector<std::pair<K, V>> pairs;
+    while (!reader.Done()) {
+      K key = Serde<K>::Get(reader);
+      V value = Serde<V>::Get(reader);
+      pairs.emplace_back(std::move(key), std::move(value));
+    }
+    std::stable_sort(pairs.begin(), pairs.end(),
+                     [&](const std::pair<K, V>& a, const std::pair<K, V>& b) {
+                       return key_less(a.first, b.first);
+                     });
+    size_t i = 0;
+    while (i < pairs.size()) {
+      size_t j = i + 1;
+      while (j < pairs.size() &&
+             !key_less(pairs[i].first, pairs[j].first) &&
+             !key_less(pairs[j].first, pairs[i].first)) {
+        ++j;
+      }
+      std::vector<V> values;
+      values.reserve(j - i);
+      for (size_t t = i; t < j; ++t) values.push_back(std::move(pairs[t].second));
+      spec.reduce(pairs[i].first, values, &output);
+      i = j;
+    }
+    reduce_seconds.push_back(clock.ElapsedSeconds() * config.compute_scale +
+                             config.task_startup_seconds);
+  }
+  stats->output_records = static_cast<int64_t>(output.size());
+
+  stats->map_makespan_seconds = ScheduleMakespan(map_seconds, config.map_slots);
+  stats->shuffle_seconds =
+      static_cast<double>(shuffle_bytes) / config.network_bytes_per_second;
+  stats->reduce_makespan_seconds =
+      ScheduleMakespan(reduce_seconds, config.reduce_slots);
+  stats->map_task_seconds = std::move(map_seconds);
+  stats->reduce_task_seconds = std::move(reduce_seconds);
+  stats->real_seconds = total_clock.ElapsedSeconds();
+
+  if (counters != nullptr) {
+    counters->Add(spec.name + ".shuffle_bytes", shuffle_bytes);
+    counters->Add(spec.name + ".shuffle_records", shuffle_records);
+    counters->Add(spec.name + ".map_tasks", stats->map_tasks);
+  }
+  return output;
+}
+
+}  // namespace dwm::mr
+
+#endif  // DWMAXERR_MR_JOB_H_

@@ -1,0 +1,89 @@
+// Index algebra for the Haar error tree (Section 2.2 of the paper).
+//
+// For a data vector of size n (a power of two) the wavelet transform W has n
+// entries laid out in heap order:
+//   W[0]          overall average (root c_0, the unary parent of c_1),
+//   W[1]          top detail coefficient, covering all n leaves,
+//   W[i], i >= 2  detail coefficient at level Log2Floor(i) covering
+//                 n >> level contiguous leaves.
+// Nodes i in [n/2, n) are "bottom" coefficients whose children are the data
+// leaves 2i - n and 2i + 1 - n.
+#ifndef DWMAXERR_WAVELET_ERROR_TREE_H_
+#define DWMAXERR_WAVELET_ERROR_TREE_H_
+
+#include <cstdint>
+
+#include "common/bits.h"
+#include "common/check.h"
+
+namespace dwm {
+
+// Resolution level of coefficient node i; level 0 is the coarsest. The
+// average node c_0 is assigned level 0 as well (it shares c_1's support).
+inline int NodeLevel(int64_t i) {
+  DWM_CHECK_GE(i, 0);
+  return i <= 1 ? 0 : Log2Floor(static_cast<uint64_t>(i));
+}
+
+// Half-open range [first, first + count) of data leaves under node i, for a
+// tree over n leaves.
+struct LeafRange {
+  int64_t first = 0;
+  int64_t count = 0;
+};
+
+inline LeafRange NodeLeafRange(int64_t n, int64_t i) {
+  DWM_CHECK(IsPowerOfTwo(static_cast<uint64_t>(n)));
+  DWM_CHECK_GE(i, 0);
+  DWM_CHECK_LT(i, n);
+  if (i == 0) return {0, n};
+  const int level = NodeLevel(i);
+  const int64_t width = n >> level;
+  return {(i - (int64_t{1} << level)) * width, width};
+}
+
+// Sign with which coefficient node i contributes to the reconstruction of
+// leaf j: +1 if j lies in the left subtree of i (or i is the average node),
+// -1 if in the right subtree. Requires j to be a leaf under node i.
+inline int LeafSign(int64_t n, int64_t i, int64_t j) {
+  if (i == 0) return +1;
+  const LeafRange r = NodeLeafRange(n, i);
+  DWM_CHECK_GE(j, r.first);
+  DWM_CHECK_LT(j, r.first + r.count);
+  return j < r.first + r.count / 2 ? +1 : -1;
+}
+
+// Lowest coefficient node on the path of leaf j (its direct parent).
+inline int64_t LeafParent(int64_t n, int64_t j) {
+  DWM_CHECK_GE(j, 0);
+  DWM_CHECK_LT(j, n);
+  return (n + j) >> 1;
+}
+
+// Invokes fn(node_index) for every node on path_j, from the bottom
+// coefficient up to and including the average node c_0.
+template <typename Fn>
+void ForEachPathNode(int64_t n, int64_t leaf, Fn&& fn) {
+  for (int64_t i = LeafParent(n, leaf); i >= 1; i >>= 1) fn(i);
+  fn(int64_t{0});
+}
+
+// Number of coefficient nodes in the subtree rooted at node i (i >= 1),
+// excluding data leaves: a node at level l has n >> l leaves below it and
+// (n >> l) - 1 coefficients including itself.
+inline int64_t SubtreeNodeCount(int64_t n, int64_t i) {
+  DWM_CHECK_GE(i, 1);
+  return (n >> NodeLevel(i)) - 1;
+}
+
+// Maps a node's local heap index within the subtree rooted at global node
+// `root` (local index 1 == root) to its global error-tree index.
+inline int64_t LocalToGlobal(int64_t root, int64_t local) {
+  DWM_CHECK_GE(local, 1);
+  const int depth = Log2Floor(static_cast<uint64_t>(local));
+  return root * (int64_t{1} << depth) + (local - (int64_t{1} << depth));
+}
+
+}  // namespace dwm
+
+#endif  // DWMAXERR_WAVELET_ERROR_TREE_H_

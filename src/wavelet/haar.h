@@ -1,0 +1,39 @@
+// Un-normalized Haar wavelet transform (pairwise average / difference), as
+// used throughout the paper (Section 2.1).
+#ifndef DWMAXERR_WAVELET_HAAR_H_
+#define DWMAXERR_WAVELET_HAAR_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "wavelet/error_tree.h"
+
+namespace dwm {
+
+// Forward transform of `data` (size must be a power of two, >= 1). Returns
+// the coefficient array in error-tree heap order (see error_tree.h).
+std::vector<double> ForwardHaar(const std::vector<double>& data);
+
+// Inverse transform: exact reconstruction of the data from a full (dense)
+// coefficient array.
+std::vector<double> InverseHaar(const std::vector<double>& coeffs);
+
+// Significance used by the conventional (L2-optimal) thresholding scheme:
+// |c_i| / sqrt(2^level(c_i)) (Section 2.3). The constant sqrt(n) factor is
+// irrelevant for ranking and omitted.
+inline double Significance(int64_t i, double value) {
+  return std::abs(value) / std::sqrt(static_cast<double>(int64_t{1}
+                                                         << NodeLevel(i)));
+}
+
+// The thresholding algorithms require power-of-two domains. PadToPowerOfTwo
+// extends `data` to the next power of two by repeating the last value
+// (repeating — rather than zero-filling — avoids a synthetic discontinuity
+// that would consume budget at the boundary). Returns the original size so
+// callers can ignore the padded tail when querying.
+int64_t PadToPowerOfTwo(std::vector<double>* data);
+
+}  // namespace dwm
+
+#endif  // DWMAXERR_WAVELET_HAAR_H_

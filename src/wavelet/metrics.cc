@@ -1,0 +1,44 @@
+#include "wavelet/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dwm {
+
+std::vector<double> SignedErrors(const std::vector<double>& data,
+                                 const Synopsis& synopsis) {
+  DWM_CHECK_EQ(static_cast<int64_t>(data.size()), synopsis.domain_size());
+  std::vector<double> reconstructed = synopsis.Reconstruct();
+  for (size_t i = 0; i < data.size(); ++i) reconstructed[i] -= data[i];
+  return reconstructed;
+}
+
+double L2Error(const std::vector<double>& data, const Synopsis& synopsis) {
+  const std::vector<double> err = SignedErrors(data, synopsis);
+  double sum_sq = 0.0;
+  for (double e : err) sum_sq += e * e;
+  return std::sqrt(sum_sq / static_cast<double>(data.size()));
+}
+
+double MaxAbsError(const std::vector<double>& data, const Synopsis& synopsis) {
+  const std::vector<double> err = SignedErrors(data, synopsis);
+  double max_abs = 0.0;
+  for (double e : err) max_abs = std::max(max_abs, std::abs(e));
+  return max_abs;
+}
+
+double MaxRelError(const std::vector<double>& data, const Synopsis& synopsis,
+                   double sanity) {
+  DWM_CHECK_GT(sanity, 0.0);
+  const std::vector<double> err = SignedErrors(data, synopsis);
+  double max_rel = 0.0;
+  for (size_t i = 0; i < err.size(); ++i) {
+    const double denom = std::max(std::abs(data[i]), sanity);
+    max_rel = std::max(max_rel, std::abs(err[i]) / denom);
+  }
+  return max_rel;
+}
+
+}  // namespace dwm

@@ -1,0 +1,28 @@
+// Aggregate error metrics for assessing synopsis quality (Section 2.3,
+// Equations 1-3). All are computed via exact O(n) reconstruction.
+#ifndef DWMAXERR_WAVELET_METRICS_H_
+#define DWMAXERR_WAVELET_METRICS_H_
+
+#include <vector>
+
+#include "wavelet/synopsis.h"
+
+namespace dwm {
+
+// Root mean squared error (Equation 1).
+double L2Error(const std::vector<double>& data, const Synopsis& synopsis);
+
+// Maximum absolute error max_i |d_hat_i - d_i| (Equation 2).
+double MaxAbsError(const std::vector<double>& data, const Synopsis& synopsis);
+
+// Maximum relative error with sanity bound `sanity` > 0 (Equation 3).
+double MaxRelError(const std::vector<double>& data, const Synopsis& synopsis,
+                   double sanity);
+
+// Signed accumulated errors err_j = d_hat_j - d_j for all j.
+std::vector<double> SignedErrors(const std::vector<double>& data,
+                                 const Synopsis& synopsis);
+
+}  // namespace dwm
+
+#endif  // DWMAXERR_WAVELET_METRICS_H_

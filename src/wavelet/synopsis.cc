@@ -1,0 +1,139 @@
+#include "wavelet/synopsis.h"
+
+#include <algorithm>
+
+#include "common/bits.h"
+#include "common/check.h"
+#include "wavelet/error_tree.h"
+#include "wavelet/haar.h"
+
+namespace dwm {
+
+Synopsis::Synopsis(int64_t domain_size, std::vector<Coefficient> coefficients)
+    : domain_size_(domain_size), coefficients_(std::move(coefficients)) {
+  DWM_CHECK(IsPowerOfTwo(static_cast<uint64_t>(domain_size_)));
+  std::sort(coefficients_.begin(), coefficients_.end(),
+            [](const Coefficient& a, const Coefficient& b) {
+              return a.index < b.index;
+            });
+  for (size_t i = 0; i < coefficients_.size(); ++i) {
+    DWM_CHECK_GE(coefficients_[i].index, 0);
+    DWM_CHECK_LT(coefficients_[i].index, domain_size_);
+    if (i > 0) DWM_CHECK_LT(coefficients_[i - 1].index, coefficients_[i].index);
+  }
+}
+
+double Synopsis::CoefficientValue(int64_t index) const {
+  auto it = std::lower_bound(coefficients_.begin(), coefficients_.end(), index,
+                             [](const Coefficient& c, int64_t idx) {
+                               return c.index < idx;
+                             });
+  if (it != coefficients_.end() && it->index == index) return it->value;
+  return 0.0;
+}
+
+double Synopsis::PointEstimate(int64_t leaf) const {
+  DWM_CHECK_GE(leaf, 0);
+  DWM_CHECK_LT(leaf, domain_size_);
+  double value = 0.0;
+  ForEachPathNode(domain_size_, leaf, [&](int64_t node) {
+    const double c = CoefficientValue(node);
+    if (c != 0.0) value += LeafSign(domain_size_, node, leaf) * c;
+  });
+  return value;
+}
+
+double Synopsis::RangeSum(int64_t lo, int64_t hi) const {
+  DWM_CHECK_LE(lo, hi);
+  DWM_CHECK_GE(lo, 0);
+  DWM_CHECK_LT(hi, domain_size_);
+  // Collect the union of path_lo and path_hi; interior nodes fully contained
+  // in [lo, hi] contribute |leftleaves| - |rightleaves| = 0 and are skipped
+  // (Section 2.2).
+  double sum = 0.0;
+  auto contribution = [&](int64_t node) {
+    const double c = CoefficientValue(node);
+    if (c == 0.0) return;
+    if (node == 0) {
+      sum += static_cast<double>(hi - lo + 1) * c;
+      return;
+    }
+    const LeafRange r = NodeLeafRange(domain_size_, node);
+    const int64_t mid = r.first + r.count / 2;
+    // Overlap of [lo, hi] with the left and right child leaf ranges.
+    const int64_t left_overlap =
+        std::max<int64_t>(0, std::min(hi, mid - 1) - std::max(lo, r.first) + 1);
+    const int64_t right_overlap = std::max<int64_t>(
+        0, std::min(hi, r.first + r.count - 1) - std::max(lo, mid) + 1);
+    sum += static_cast<double>(left_overlap - right_overlap) * c;
+  };
+  // Walk both paths in lock-step from the bottom; they merge at the lowest
+  // common ancestor, above which each node is visited once.
+  int64_t a = LeafParent(domain_size_, lo);
+  int64_t b = LeafParent(domain_size_, hi);
+  while (a != b) {
+    if (a > b) {
+      contribution(a);
+      a >>= 1;
+    } else {
+      contribution(b);
+      b >>= 1;
+    }
+  }
+  for (; a >= 1; a >>= 1) contribution(a);
+  contribution(0);
+  return sum;
+}
+
+std::vector<double> Synopsis::ToDense() const {
+  std::vector<double> dense(static_cast<size_t>(domain_size_), 0.0);
+  for (const Coefficient& c : coefficients_) {
+    dense[static_cast<size_t>(c.index)] = c.value;
+  }
+  return dense;
+}
+
+std::vector<double> Synopsis::Reconstruct() const {
+  return InverseHaar(ToDense());
+}
+
+std::vector<double> Synopsis::ReconstructRange(int64_t first,
+                                               int64_t count) const {
+  if (count == domain_size_) {
+    DWM_CHECK_EQ(first, 0);
+    return Reconstruct();
+  }
+  DWM_CHECK(IsPowerOfTwo(static_cast<uint64_t>(count)));
+  DWM_CHECK_EQ(first % count, 0);
+  DWM_CHECK_GE(first, 0);
+  DWM_CHECK_LE(first + count, domain_size_);
+  // The slice is the leaf range of the subtree rooted at `root`. Build the
+  // local dense coefficient array: slot 0 carries the incoming value from
+  // the retained ancestors of `root`, slots 1..count-1 the retained
+  // coefficients inside the subtree.
+  const int64_t root = domain_size_ / count + first / count;
+  std::vector<double> local(static_cast<size_t>(count), 0.0);
+  ForEachPathNode(domain_size_, first, [&](int64_t node) {
+    if (node >= root) return;  // strictly above the subtree only
+    const double c = CoefficientValue(node);
+    if (c != 0.0) local[0] += LeafSign(domain_size_, node, first) * c;
+  });
+  for (const Coefficient& c : coefficients_) {
+    // Global index of local slot s is root * 2^depth + offset; invert it.
+    int64_t g = c.index;
+    if (g < root) continue;
+    int64_t local_slot = 0;
+    int64_t top = g;
+    int depth = 0;
+    while (top > root) {
+      top >>= 1;
+      ++depth;
+    }
+    if (top != root) continue;  // not inside this subtree
+    local_slot = (int64_t{1} << depth) + (g - root * (int64_t{1} << depth));
+    if (local_slot < count) local[static_cast<size_t>(local_slot)] = c.value;
+  }
+  return InverseHaar(local);
+}
+
+}  // namespace dwm

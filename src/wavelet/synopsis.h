@@ -1,0 +1,64 @@
+// Sparse wavelet synopsis: the subset of coefficients retained by a
+// thresholding algorithm, plus reconstruction queries (Section 2.2/2.3).
+#ifndef DWMAXERR_WAVELET_SYNOPSIS_H_
+#define DWMAXERR_WAVELET_SYNOPSIS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dwm {
+
+struct Coefficient {
+  int64_t index = 0;
+  double value = 0.0;
+
+  friend bool operator==(const Coefficient&, const Coefficient&) = default;
+};
+
+// A set of retained wavelet coefficients over a domain of `domain_size`
+// data values (a power of two). Coefficient values may be the original Haar
+// values (restricted synopses: conventional, GreedyAbs) or arbitrary
+// (unrestricted synopses: MinHaarSpace / IndirectHaar).
+class Synopsis {
+ public:
+  Synopsis() = default;
+  // Takes coefficients in any order; sorts by index. Duplicate indices are
+  // a programming error.
+  Synopsis(int64_t domain_size, std::vector<Coefficient> coefficients);
+
+  int64_t domain_size() const { return domain_size_; }
+  int64_t size() const { return static_cast<int64_t>(coefficients_.size()); }
+  const std::vector<Coefficient>& coefficients() const { return coefficients_; }
+
+  // Value of coefficient `index`, or 0 if not retained. O(log size).
+  double CoefficientValue(int64_t index) const;
+
+  // Reconstructed value d_hat_j: sums the <= log n + 1 retained coefficients
+  // on path_j (Section 2.2).
+  double PointEstimate(int64_t leaf) const;
+
+  // Range sum d(lo:hi), inclusive on both ends, using only coefficients on
+  // path_lo and path_hi (Section 2.2).
+  double RangeSum(int64_t lo, int64_t hi) const;
+
+  // Dense coefficient array (zeros for dropped coefficients).
+  std::vector<double> ToDense() const;
+
+  // Full reconstruction of all domain_size values (inverse transform of the
+  // dense array). O(n + size).
+  std::vector<double> Reconstruct() const;
+
+  // Reconstruction of the aligned slice [first, first + count): `count` must
+  // be a power of two and `first` a multiple of it (the slice is a subtree's
+  // leaf range). O(count + log n + size-in-slice) — this is what a
+  // distributed worker uses to evaluate its local partition.
+  std::vector<double> ReconstructRange(int64_t first, int64_t count) const;
+
+ private:
+  int64_t domain_size_ = 0;
+  std::vector<Coefficient> coefficients_;  // sorted by index
+};
+
+}  // namespace dwm
+
+#endif  // DWMAXERR_WAVELET_SYNOPSIS_H_

@@ -1,0 +1,137 @@
+// The four parallel conventional-synopsis algorithms (CON, Send-V,
+// Send-Coef, H-WTopk) must all produce the same synopsis as the centralized
+// thresholding ("For any given dataset, all four described algorithms
+// produce exactly the same synopses", Appendix A.5).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/conventional.h"
+#include "dist/dcon.h"
+#include "dist/hwtopk.h"
+#include "dist/send_coef.h"
+#include "dist/send_v.h"
+#include "test_util.h"
+#include "wavelet/haar.h"
+#include "wavelet/metrics.h"
+
+namespace dwm {
+namespace {
+
+mr::ClusterConfig FastCluster() {
+  mr::ClusterConfig config;
+  config.task_startup_seconds = 0.1;
+  config.job_overhead_seconds = 1.0;
+  return config;
+}
+
+// Indices match exactly; values within fp tolerance (partial sums may be
+// accumulated in a different order than the pairwise transform).
+void ExpectSameSynopsis(const Synopsis& expected, const Synopsis& actual,
+                        double tol) {
+  ASSERT_EQ(expected.size(), actual.size());
+  for (int64_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected.coefficients()[static_cast<size_t>(i)].index,
+              actual.coefficients()[static_cast<size_t>(i)].index)
+        << "position " << i;
+    EXPECT_NEAR(expected.coefficients()[static_cast<size_t>(i)].value,
+                actual.coefficients()[static_cast<size_t>(i)].value, tol);
+  }
+}
+
+class ConventionalDistTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ConventionalDistTest, ConMatchesCentralized) {
+  const int64_t n = int64_t{1} << std::get<0>(GetParam());
+  const int64_t b = n >> std::get<1>(GetParam());
+  const auto data = testing::RandomData(n, static_cast<uint64_t>(n + b));
+  const Synopsis expected = ConventionalSynopsis(data, b);
+  const DistSynopsisResult r = RunCon(data, b, n / 8, FastCluster());
+  ExpectSameSynopsis(expected, r.synopsis, 0.0);  // bit-exact by design
+  EXPECT_EQ(r.report.total_jobs(), 1);
+  EXPECT_GT(r.report.jobs[0].shuffle_bytes, 0);
+}
+
+TEST_P(ConventionalDistTest, SendVMatchesCentralized) {
+  const int64_t n = int64_t{1} << std::get<0>(GetParam());
+  const int64_t b = n >> std::get<1>(GetParam());
+  const auto data = testing::RandomData(n, static_cast<uint64_t>(2 * n + b));
+  const Synopsis expected = ConventionalSynopsis(data, b);
+  const DistSynopsisResult r = RunSendV(data, b, 7, FastCluster());
+  ExpectSameSynopsis(expected, r.synopsis, 0.0);
+}
+
+TEST_P(ConventionalDistTest, SendCoefMatchesCentralized) {
+  const int64_t n = int64_t{1} << std::get<0>(GetParam());
+  const int64_t b = n >> std::get<1>(GetParam());
+  const auto data = testing::RandomData(n, static_cast<uint64_t>(3 * n + b));
+  const Synopsis expected = ConventionalSynopsis(data, b);
+  // 7 mappers: splits are not power-of-two aligned.
+  const DistSynopsisResult r = RunSendCoef(data, b, 7, FastCluster());
+  ExpectSameSynopsis(expected, r.synopsis, 1e-9);
+}
+
+TEST_P(ConventionalDistTest, HWTopkMatchesCentralized) {
+  const int64_t n = int64_t{1} << std::get<0>(GetParam());
+  const int64_t b = n >> std::get<1>(GetParam());
+  const auto data = testing::RandomData(n, static_cast<uint64_t>(4 * n + b));
+  const Synopsis expected = ConventionalSynopsis(data, b);
+  const DistSynopsisResult r = RunHWTopk(data, b, 5, FastCluster());
+  ExpectSameSynopsis(expected, r.synopsis, 1e-9);
+  EXPECT_EQ(r.report.total_jobs(), 3);  // three communication rounds
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ConventionalDistTest,
+    ::testing::Combine(::testing::Values(5, 8, 11),
+                       ::testing::Values(1, 3, 5)));
+
+TEST(ConventionalDistCommunicationTest, ConShufflesWholeInput) {
+  const auto data = testing::RandomData(1 << 12, 9);
+  const DistSynopsisResult r = RunCon(data, 64, 1 << 9, FastCluster());
+  // CON emits every coefficient once: >= n * (8 key + 8 value) bytes.
+  EXPECT_GE(r.report.jobs[0].shuffle_bytes, (1 << 12) * 16);
+}
+
+TEST(ConventionalDistCommunicationTest, SendCoefShipsMoreThanCon) {
+  // The per-datapoint partials of Send-Coef (O(S (log N - log S))) dominate
+  // CON's O(N) when the splits are small relative to N.
+  const auto data = testing::RandomData(1 << 12, 10);
+  const auto con = RunCon(data, 64, 1 << 9, FastCluster());
+  const auto sc = RunSendCoef(data, 64, 8, FastCluster());
+  EXPECT_GT(sc.report.jobs[0].shuffle_records,
+            con.report.jobs[0].shuffle_records);
+}
+
+TEST(ConventionalDistCommunicationTest, HWTopkRound1DominatedByBudget) {
+  // At B = N/8, round 1 ships ~2B entries per mapper (the Figure 10
+  // pathology); at B = 50, traffic collapses (the Figure 11 win).
+  const auto data = testing::RandomData(1 << 12, 11);
+  const auto big = RunHWTopk(data, (1 << 12) / 8, 5, FastCluster());
+  const auto small = RunHWTopk(data, 50, 5, FastCluster());
+  EXPECT_GT(big.report.jobs[0].shuffle_bytes,
+            4 * small.report.jobs[0].shuffle_bytes);
+}
+
+TEST(ConventionalDistEdgeTest, BudgetZeroAndFull) {
+  const auto data = testing::RandomData(64, 12);
+  EXPECT_EQ(RunCon(data, 0, 8, FastCluster()).synopsis.size(), 0);
+  const DistSynopsisResult full = RunCon(data, 64, 8, FastCluster());
+  EXPECT_NEAR(MaxAbsError(data, full.synopsis), 0.0, 1e-9);
+}
+
+TEST(ConventionalDistEdgeTest, SingleMapper) {
+  const auto data = testing::RandomData(64, 13);
+  const Synopsis expected = ConventionalSynopsis(data, 16);
+  ExpectSameSynopsis(expected, RunSendV(data, 16, 1, FastCluster()).synopsis,
+                     0.0);
+  ExpectSameSynopsis(expected,
+                     RunSendCoef(data, 16, 1, FastCluster()).synopsis, 1e-9);
+  ExpectSameSynopsis(expected, RunHWTopk(data, 16, 1, FastCluster()).synopsis,
+                     1e-9);
+}
+
+}  // namespace
+}  // namespace dwm

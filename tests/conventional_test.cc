@@ -1,0 +1,92 @@
+#include "core/conventional.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "test_util.h"
+#include "wavelet/haar.h"
+#include "wavelet/metrics.h"
+
+namespace dwm {
+namespace {
+
+TEST(ConventionalTest, BudgetRespected) {
+  const auto data = testing::RandomData(128, 1);
+  for (int64_t b : {0, 1, 5, 64, 128, 1000}) {
+    const Synopsis s = ConventionalSynopsis(data, b);
+    EXPECT_LE(s.size(), std::min<int64_t>(b, 128));
+  }
+}
+
+TEST(ConventionalTest, FullBudgetIsLossless) {
+  const auto data = testing::RandomData(64, 2);
+  const Synopsis s = ConventionalSynopsis(data, 64);
+  EXPECT_NEAR(MaxAbsError(data, s), 0.0, 1e-9);
+}
+
+TEST(ConventionalTest, ZeroBudgetIsEmpty) {
+  const auto data = testing::RandomData(64, 3);
+  EXPECT_EQ(ConventionalSynopsis(data, 0).size(), 0);
+}
+
+TEST(ConventionalTest, DropsZeroCoefficients) {
+  // Constant data: only the average is nonzero.
+  const std::vector<double> data(32, 5.0);
+  const Synopsis s = ConventionalSynopsis(data, 10);
+  ASSERT_EQ(s.size(), 1);
+  EXPECT_EQ(s.coefficients()[0].index, 0);
+  EXPECT_DOUBLE_EQ(s.coefficients()[0].value, 5.0);
+}
+
+TEST(ConventionalTest, PicksLargestNormalizedCoefficients) {
+  // Hand-built coefficient array where normalization decides the ranking:
+  // c4 (level 2, |4|) has significance 4/2 = 2; c1 (level 0, |3|) has 3.
+  const std::vector<double> coeffs = {0.0, 3.0, 0.0, 0.0, 4.0, 0.0, 0.0, 0.0};
+  const Synopsis s = ConventionalFromCoeffs(coeffs, 1);
+  ASSERT_EQ(s.size(), 1);
+  EXPECT_EQ(s.coefficients()[0].index, 1);
+  const Synopsis s2 = ConventionalFromCoeffs(coeffs, 2);
+  EXPECT_EQ(s2.size(), 2);
+}
+
+TEST(ConventionalTest, MinimizesL2AmongSameSizeSynopses) {
+  // The conventional synopsis is L2-optimal: check against all single-drop
+  // alternatives at budget n-1 and random subsets at small n.
+  const auto data = testing::RandomData(16, 4);
+  const auto coeffs = ForwardHaar(data);
+  const Synopsis best = ConventionalFromCoeffs(coeffs, 8);
+  const double best_l2 = L2Error(data, best);
+  Rng rng(9);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<Coefficient> cs;
+    std::vector<int64_t> index(16);
+    for (int64_t i = 0; i < 16; ++i) index[static_cast<size_t>(i)] = i;
+    // Random 8-subset.
+    for (int64_t i = 0; i < 8; ++i) {
+      const int64_t j = i + static_cast<int64_t>(
+                                rng.NextBounded(static_cast<uint64_t>(16 - i)));
+      std::swap(index[static_cast<size_t>(i)], index[static_cast<size_t>(j)]);
+      const int64_t idx = index[static_cast<size_t>(i)];
+      if (coeffs[static_cast<size_t>(idx)] != 0.0) {
+        cs.push_back({idx, coeffs[static_cast<size_t>(idx)]});
+      }
+    }
+    const Synopsis other(16, std::move(cs));
+    EXPECT_LE(best_l2, L2Error(data, other) + 1e-9);
+  }
+}
+
+TEST(ConventionalTest, ErrorMonotoneInBudget) {
+  const auto data = testing::PiecewiseData(256, 6);
+  double prev = std::numeric_limits<double>::infinity();
+  for (int64_t b : {4, 8, 16, 32, 64, 128, 256}) {
+    const double l2 = L2Error(data, ConventionalSynopsis(data, b));
+    EXPECT_LE(l2, prev + 1e-9);
+    prev = l2;
+  }
+}
+
+}  // namespace
+}  // namespace dwm

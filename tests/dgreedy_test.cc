@@ -1,0 +1,187 @@
+#include "dist/dgreedy.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/conventional.h"
+#include "core/greedy_abs.h"
+#include "core/greedy_rel.h"
+#include "test_util.h"
+#include "wavelet/metrics.h"
+
+namespace dwm {
+namespace {
+
+mr::ClusterConfig FastCluster() {
+  mr::ClusterConfig config;
+  config.task_startup_seconds = 0.1;
+  config.job_overhead_seconds = 1.0;
+  return config;
+}
+
+class DGreedyAbsTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(DGreedyAbsTest, QualityMatchesCentralizedGreedy) {
+  const int64_t n = int64_t{1} << std::get<0>(GetParam());
+  const int64_t base_leaves = int64_t{1} << std::get<1>(GetParam());
+  const int64_t b = n / 8;
+  const auto data = testing::RandomData(n, static_cast<uint64_t>(n) + 5, 60.0);
+  DGreedyOptions options;
+  options.budget = b;
+  options.base_leaves = base_leaves;
+  const DGreedyResult dist = DGreedyAbs(data, options, FastCluster());
+  EXPECT_LE(dist.synopsis.size(), b);
+  const double dist_err = MaxAbsError(data, dist.synopsis);
+  const double central_err = GreedyAbs(data, b).max_abs_error;
+  // Section 6: "DGreedyAbs achieves the same maximum absolute error with its
+  // centralized counterpart". The speculative decomposition is a heuristic,
+  // so allow a modest slack rather than exact equality.
+  EXPECT_LE(dist_err, 1.5 * central_err + 1e-6)
+      << "n=" << n << " L=" << base_leaves;
+  // The histogram-stage estimate is a bucket floor of the achieved error.
+  EXPECT_LE(dist.estimated_error, dist_err + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DGreedyAbsTest,
+    ::testing::Combine(::testing::Values(6, 8, 10, 12),
+                       ::testing::Values(3, 5, 7)));
+
+TEST(DGreedyAbsBasicTest, BeatsConventionalOnMaxAbs) {
+  const auto data = testing::RandomData(1 << 10, 21, 100.0);
+  DGreedyOptions options;
+  options.budget = 128;
+  options.base_leaves = 128;
+  const DGreedyResult r = DGreedyAbs(data, options, FastCluster());
+  const double conv = MaxAbsError(data, ConventionalSynopsis(data, 128));
+  EXPECT_LE(MaxAbsError(data, r.synopsis), conv + 1e-9);
+}
+
+TEST(DGreedyAbsBasicTest, FullBudgetLossless) {
+  const auto data = testing::RandomData(1 << 8, 22, 50.0);
+  DGreedyOptions options;
+  options.budget = 1 << 8;
+  options.base_leaves = 32;
+  const DGreedyResult r = DGreedyAbs(data, options, FastCluster());
+  EXPECT_NEAR(MaxAbsError(data, r.synopsis), 0.0, 1e-9);
+  EXPECT_NEAR(r.estimated_error, 0.0, 1e-9);
+}
+
+TEST(DGreedyAbsBasicTest, ZeroBudget) {
+  const auto data = testing::RandomData(1 << 8, 23, 50.0);
+  DGreedyOptions options;
+  options.budget = 0;
+  options.base_leaves = 32;
+  const DGreedyResult r = DGreedyAbs(data, options, FastCluster());
+  EXPECT_EQ(r.synopsis.size(), 0);
+  double max_abs = 0.0;
+  for (double v : data) max_abs = std::max(max_abs, std::abs(v));
+  EXPECT_NEAR(MaxAbsError(data, r.synopsis), max_abs, 1e-9);
+}
+
+TEST(DGreedyAbsBasicTest, RunsThreeJobs) {
+  const auto data = testing::RandomData(1 << 8, 24, 50.0);
+  DGreedyOptions options;
+  options.budget = 32;
+  options.base_leaves = 32;
+  const DGreedyResult r = DGreedyAbs(data, options, FastCluster());
+  EXPECT_EQ(r.report.total_jobs(), 3);  // transform, histogram, construct
+  EXPECT_GT(r.report.driver_seconds, 0.0);
+}
+
+TEST(DGreedyAbsBucketTest, WiderBucketsShrinkTraffic) {
+  // Algorithm 3: a wider e_b compacts more discards per emitted key-value.
+  const auto data = testing::RandomData(1 << 11, 25, 100.0);
+  DGreedyOptions tight;
+  tight.budget = 256;
+  tight.base_leaves = 256;
+  tight.bucket_width = 1e-9;
+  DGreedyOptions wide = tight;
+  wide.bucket_width = 10.0;
+  const DGreedyResult r_tight = DGreedyAbs(data, tight, FastCluster());
+  const DGreedyResult r_wide = DGreedyAbs(data, wide, FastCluster());
+  EXPECT_LT(r_wide.report.jobs[1].shuffle_records,
+            r_tight.report.jobs[1].shuffle_records);
+  // Quality degrades at most ~e_b relative to the tight run.
+  EXPECT_LE(MaxAbsError(data, r_wide.synopsis),
+            MaxAbsError(data, r_tight.synopsis) + 3 * 10.0);
+}
+
+TEST(DGreedyAbsBucketTest, PiecewiseDataIsCompacted) {
+  // On piecewise-constant data most coefficients die at the same (zero-ish)
+  // error, so whole sub-trees compact into single key-values (Section 6.2's
+  // I/O-efficiency discussion).
+  const auto data = testing::PiecewiseData(1 << 11, 26, 100.0);
+  DGreedyOptions options;
+  options.budget = 256;
+  options.base_leaves = 256;
+  options.bucket_width = 1.0;
+  const DGreedyResult r = DGreedyAbs(data, options, FastCluster());
+  // Without compaction the histogram job would ship one entry per
+  // coefficient per candidate C_root (~ (kmax+1) * n entries).
+  EXPECT_LT(r.report.jobs[1].shuffle_records, 2 * (1 << 11));
+}
+
+class DGreedyRelTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DGreedyRelTest, QualityTracksCentralizedGreedyRel) {
+  const int64_t n = int64_t{1} << GetParam();
+  const int64_t b = n / 8;
+  const double sanity = 1.0;
+  const auto data = testing::RandomData(n, static_cast<uint64_t>(n) + 9, 80.0);
+  DGreedyOptions options;
+  options.budget = b;
+  options.base_leaves = std::max<int64_t>(8, n / 16);
+  const DGreedyResult dist = DGreedyRel(data, options, sanity, FastCluster());
+  EXPECT_LE(dist.synopsis.size(), b);
+  const double dist_err = MaxRelError(data, dist.synopsis, sanity);
+  const double central_err = GreedyRel(data, b, sanity).max_rel_error;
+  EXPECT_LE(dist_err, 2.0 * central_err + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DGreedyRelTest, ::testing::Values(6, 8, 10));
+
+class DGreedyEstimateTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DGreedyEstimateTest, HistogramEstimateTracksMeasuredError) {
+  // The level-2 estimate is a bucket floor of the error the construct job
+  // realizes: measured is within [estimate, estimate + e_b] up to fp noise.
+  const int64_t n = int64_t{1} << GetParam();
+  const double eb = 0.5;
+  const auto data = testing::RandomData(n, static_cast<uint64_t>(7 * n), 90.0);
+  DGreedyOptions options;
+  options.budget = n / 8;
+  options.base_leaves = n / 8;
+  options.bucket_width = eb;
+  const DGreedyResult r = DGreedyAbs(data, options, FastCluster());
+  const double measured = MaxAbsError(data, r.synopsis);
+  EXPECT_GE(measured, r.estimated_error - 1e-9);
+  EXPECT_LE(measured, r.estimated_error + eb + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DGreedyEstimateTest,
+                         ::testing::Values(6, 8, 10, 12));
+
+TEST(DGreedyAbsPartitionInvariance, QualityStableAcrossBaseSizes) {
+  // Different base sub-tree sizes change the work partitioning, not the
+  // data; the achieved error should stay in a narrow band.
+  const int64_t n = 1 << 10;
+  const auto data = testing::RandomData(n, 99, 70.0);
+  DGreedyOptions options;
+  options.budget = n / 8;
+  double best = std::numeric_limits<double>::infinity();
+  double worst = 0.0;
+  for (int64_t base : {8, 32, 128, 512}) {
+    options.base_leaves = base;
+    const DGreedyResult r = DGreedyAbs(data, options, FastCluster());
+    const double err = MaxAbsError(data, r.synopsis);
+    best = std::min(best, err);
+    worst = std::max(worst, err);
+  }
+  EXPECT_LE(worst, 2.0 * best + 1e-9);
+}
+
+}  // namespace
+}  // namespace dwm

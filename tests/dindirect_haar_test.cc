@@ -1,0 +1,59 @@
+#include "dist/dindirect_haar.h"
+
+#include <gtest/gtest.h>
+
+#include "core/indirect_haar.h"
+#include "test_util.h"
+#include "wavelet/metrics.h"
+
+namespace dwm {
+namespace {
+
+mr::ClusterConfig FastCluster() {
+  mr::ClusterConfig config;
+  config.task_startup_seconds = 0.1;
+  config.job_overhead_seconds = 1.0;
+  return config;
+}
+
+class DIndirectHaarTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DIndirectHaarTest, MatchesCentralizedIndirectHaar) {
+  const int64_t n = int64_t{1} << GetParam();
+  const auto data = testing::RandomData(n, static_cast<uint64_t>(n), 50.0);
+  const int64_t b = n / 8;
+  const IndirectHaarResult central = IndirectHaar(data, {b, 0.5, 40});
+  const DIndirectHaarResult dist =
+      DIndirectHaar(data, {b, 0.5, 16, 40}, FastCluster());
+  ASSERT_EQ(central.converged, dist.search.converged);
+  if (!central.converged) return;
+  // Same deterministic search over the same Problem-2 DP; the bound jobs may
+  // differ by floating-point ulps, so allow a one-grid-step divergence.
+  EXPECT_NEAR(central.max_abs_error, dist.search.max_abs_error, 0.5);
+  EXPECT_LE(dist.search.synopsis.size(), b);
+  EXPECT_NEAR(MaxAbsError(data, dist.search.synopsis),
+              dist.search.max_abs_error, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DIndirectHaarTest,
+                         ::testing::Values(4, 6, 9, 11));
+
+TEST(DIndirectHaarJobsTest, MultipleDistributedJobsPerRun) {
+  const auto data = testing::RandomData(1 << 9, 3, 60.0);
+  const DIndirectHaarResult r =
+      DIndirectHaar(data, {64, 0.5, 16, 40}, FastCluster());
+  ASSERT_TRUE(r.search.converged);
+  // Bound jobs (CON + eval + lower bound) plus >= 1 probe of >= 2 jobs.
+  EXPECT_GE(r.report.total_jobs(), 5);
+  EXPECT_GE(r.search.solver_runs, 1);
+}
+
+TEST(DIndirectHaarJobsTest, CoarseQuantumFails) {
+  const auto data = testing::RandomData(1 << 8, 4, 1.0);
+  const DIndirectHaarResult r =
+      DIndirectHaar(data, {16, 1e6, 8, 10}, FastCluster());
+  EXPECT_FALSE(r.search.converged);
+}
+
+}  // namespace
+}  // namespace dwm

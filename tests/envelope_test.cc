@@ -1,0 +1,101 @@
+#include "core/envelope.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace dwm {
+namespace {
+
+double BruteMax(const std::vector<Line>& lines, double t) {
+  double best = -1e300;
+  for (const Line& l : lines) best = std::max(best, l.slope * t + l.intercept);
+  return best;
+}
+
+TEST(EnvelopeTest, SingleLine) {
+  const UpperEnvelope env = UpperEnvelope::FromLines({{2.0, 1.0}});
+  EXPECT_DOUBLE_EQ(env.Evaluate(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(env.Evaluate(3.0), 7.0);
+}
+
+TEST(EnvelopeTest, VShape) {
+  // |5 - t| / 2 as two lines.
+  const UpperEnvelope env =
+      UpperEnvelope::FromLines({{-0.5, 2.5}, {0.5, -2.5}});
+  EXPECT_DOUBLE_EQ(env.Evaluate(5.0), 0.0);
+  EXPECT_DOUBLE_EQ(env.Evaluate(0.0), 2.5);
+  EXPECT_DOUBLE_EQ(env.Evaluate(9.0), 2.0);
+}
+
+TEST(EnvelopeTest, DominatedLineRemoved) {
+  const UpperEnvelope env = UpperEnvelope::FromLines(
+      {{1.0, 0.0}, {1.0, -5.0}, {-1.0, 0.0}, {0.0, -100.0}});
+  // Same-slope duplicate and the deeply-below flat line are gone.
+  EXPECT_EQ(env.size(), 2);
+}
+
+TEST(EnvelopeTest, MatchesBruteForceRandom) {
+  Rng rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Line> lines;
+    const int m = 1 + static_cast<int>(rng.NextBounded(40));
+    for (int i = 0; i < m; ++i) {
+      lines.push_back({rng.NextDouble() * 4 - 2, rng.NextDouble() * 10 - 5});
+    }
+    const UpperEnvelope env = UpperEnvelope::FromLines(lines);
+    for (int q = 0; q < 40; ++q) {
+      const double t = rng.NextDouble() * 30 - 15;
+      EXPECT_NEAR(env.Evaluate(t), BruteMax(lines, t), 1e-7);
+    }
+  }
+}
+
+TEST(EnvelopeTest, HorizontalShiftAtEvaluation) {
+  const std::vector<Line> lines = {{-1.0, 3.0}, {1.0, -3.0}};  // |3 - t|
+  const UpperEnvelope env = UpperEnvelope::FromLines(lines);
+  // Shifting right by 2 turns it into |5 - t|.
+  EXPECT_DOUBLE_EQ(env.Evaluate(5.0, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(env.Evaluate(0.0, 2.0), 5.0);
+}
+
+TEST(EnvelopeTest, MergeMatchesBruteForce) {
+  Rng rng(23);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<Line> la, lb;
+    const int ma = 1 + static_cast<int>(rng.NextBounded(15));
+    const int mb = 1 + static_cast<int>(rng.NextBounded(15));
+    for (int i = 0; i < ma; ++i) {
+      la.push_back({rng.NextDouble() * 2 - 1, rng.NextDouble() * 8 - 4});
+    }
+    for (int i = 0; i < mb; ++i) {
+      lb.push_back({rng.NextDouble() * 2 - 1, rng.NextDouble() * 8 - 4});
+    }
+    const double shift_a = rng.NextDouble() * 6 - 3;
+    const double shift_b = rng.NextDouble() * 6 - 3;
+    const UpperEnvelope merged =
+        UpperEnvelope::Merge(UpperEnvelope::FromLines(la), shift_a,
+                             UpperEnvelope::FromLines(lb), shift_b);
+    // Brute force: shift each family horizontally then take the max.
+    for (int q = 0; q < 25; ++q) {
+      const double t = rng.NextDouble() * 20 - 10;
+      const double expected =
+          std::max(BruteMax(la, t - shift_a), BruteMax(lb, t - shift_b));
+      EXPECT_NEAR(merged.Evaluate(t), expected, 1e-7);
+    }
+  }
+}
+
+TEST(EnvelopeTest, MergeOfShiftedSelf) {
+  // Merging an envelope with a shifted copy widens the V.
+  const UpperEnvelope v = UpperEnvelope::FromLines({{-1.0, 0.0}, {1.0, 0.0}});
+  const UpperEnvelope merged = UpperEnvelope::Merge(v, -1.0, v, 1.0);
+  EXPECT_DOUBLE_EQ(merged.Evaluate(0.0), 1.0);  // max(|t+1|, |t-1|) at 0
+  EXPECT_DOUBLE_EQ(merged.Evaluate(2.0), 3.0);
+}
+
+}  // namespace
+}  // namespace dwm

@@ -1,0 +1,125 @@
+#include "wavelet/error_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dwm {
+namespace {
+
+TEST(ErrorTreeTest, NodeLevel) {
+  EXPECT_EQ(NodeLevel(0), 0);
+  EXPECT_EQ(NodeLevel(1), 0);
+  EXPECT_EQ(NodeLevel(2), 1);
+  EXPECT_EQ(NodeLevel(3), 1);
+  EXPECT_EQ(NodeLevel(4), 2);
+  EXPECT_EQ(NodeLevel(7), 2);
+  EXPECT_EQ(NodeLevel(8), 3);
+}
+
+TEST(ErrorTreeTest, LeafRangesPaperExample) {
+  // n = 8 as in Figure 1.
+  const int64_t n = 8;
+  EXPECT_EQ(NodeLeafRange(n, 0).first, 0);
+  EXPECT_EQ(NodeLeafRange(n, 0).count, 8);
+  EXPECT_EQ(NodeLeafRange(n, 1).count, 8);
+  EXPECT_EQ(NodeLeafRange(n, 2).first, 0);
+  EXPECT_EQ(NodeLeafRange(n, 2).count, 4);
+  EXPECT_EQ(NodeLeafRange(n, 3).first, 4);
+  EXPECT_EQ(NodeLeafRange(n, 3).count, 4);
+  EXPECT_EQ(NodeLeafRange(n, 5).first, 2);
+  EXPECT_EQ(NodeLeafRange(n, 5).count, 2);
+  EXPECT_EQ(NodeLeafRange(n, 7).first, 6);
+  EXPECT_EQ(NodeLeafRange(n, 7).count, 2);
+}
+
+TEST(ErrorTreeTest, LeafRangesPartitionEachLevel) {
+  const int64_t n = 64;
+  for (int level = 0; level < 6; ++level) {
+    std::vector<bool> covered(static_cast<size_t>(n), false);
+    for (int64_t i = int64_t{1} << level; i < (int64_t{2} << level); ++i) {
+      const LeafRange r = NodeLeafRange(n, i);
+      for (int64_t j = r.first; j < r.first + r.count; ++j) {
+        EXPECT_FALSE(covered[static_cast<size_t>(j)]);
+        covered[static_cast<size_t>(j)] = true;
+      }
+    }
+    for (bool c : covered) EXPECT_TRUE(c);
+  }
+}
+
+TEST(ErrorTreeTest, LeafSignMatchesHalves) {
+  const int64_t n = 32;
+  for (int64_t i = 1; i < n; ++i) {
+    const LeafRange r = NodeLeafRange(n, i);
+    for (int64_t j = r.first; j < r.first + r.count; ++j) {
+      const int sign = LeafSign(n, i, j);
+      if (j < r.first + r.count / 2) {
+        EXPECT_EQ(sign, 1);
+      } else {
+        EXPECT_EQ(sign, -1);
+      }
+    }
+  }
+  for (int64_t j = 0; j < n; ++j) EXPECT_EQ(LeafSign(n, 0, j), 1);
+}
+
+TEST(ErrorTreeTest, PathContainsExactlyAncestors) {
+  const int64_t n = 16;
+  for (int64_t leaf = 0; leaf < n; ++leaf) {
+    std::vector<int64_t> path;
+    ForEachPathNode(n, leaf, [&](int64_t i) { path.push_back(i); });
+    // log n detail nodes + the average node.
+    ASSERT_EQ(path.size(), 5u);
+    EXPECT_EQ(path.back(), 0);
+    for (int64_t i : path) {
+      if (i == 0) continue;
+      const LeafRange r = NodeLeafRange(n, i);
+      EXPECT_GE(leaf, r.first);
+      EXPECT_LT(leaf, r.first + r.count);
+    }
+    // Each non-root element is the parent chain.
+    for (size_t t = 1; t + 1 < path.size(); ++t) {
+      EXPECT_EQ(path[t], path[t - 1] / 2);
+    }
+  }
+}
+
+TEST(ErrorTreeTest, LeafParent) {
+  EXPECT_EQ(LeafParent(8, 0), 4);
+  EXPECT_EQ(LeafParent(8, 1), 4);
+  EXPECT_EQ(LeafParent(8, 5), 6);
+  EXPECT_EQ(LeafParent(8, 7), 7);
+}
+
+TEST(ErrorTreeTest, SubtreeNodeCount) {
+  EXPECT_EQ(SubtreeNodeCount(8, 1), 7);
+  EXPECT_EQ(SubtreeNodeCount(8, 2), 3);
+  EXPECT_EQ(SubtreeNodeCount(8, 4), 1);
+  EXPECT_EQ(SubtreeNodeCount(1024, 2), 511);
+}
+
+TEST(ErrorTreeTest, LocalToGlobal) {
+  // Subtree rooted at global node 5: local 1 -> 5, local 2,3 -> 10,11,
+  // local 4..7 -> 20..23.
+  EXPECT_EQ(LocalToGlobal(5, 1), 5);
+  EXPECT_EQ(LocalToGlobal(5, 2), 10);
+  EXPECT_EQ(LocalToGlobal(5, 3), 11);
+  EXPECT_EQ(LocalToGlobal(5, 4), 20);
+  EXPECT_EQ(LocalToGlobal(5, 7), 23);
+  // Identity for the whole tree (root = 1).
+  for (int64_t i = 1; i < 64; ++i) EXPECT_EQ(LocalToGlobal(1, i), i);
+}
+
+TEST(ErrorTreeTest, LocalToGlobalPreservesChildren) {
+  for (int64_t root : {2, 3, 6, 9}) {
+    for (int64_t local = 1; local < 32; ++local) {
+      EXPECT_EQ(LocalToGlobal(root, 2 * local), 2 * LocalToGlobal(root, local));
+      EXPECT_EQ(LocalToGlobal(root, 2 * local + 1),
+                2 * LocalToGlobal(root, local) + 1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dwm

@@ -1,0 +1,57 @@
+#include "core/exact_small.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "core/conventional.h"
+#include "test_util.h"
+#include "wavelet/metrics.h"
+
+namespace dwm {
+namespace {
+
+TEST(ExactSmallTest, ReportsItsOwnError) {
+  const auto data = testing::RandomData(16, 1);
+  const ExactResult r = ExactOptimalRestricted(data, 4);
+  EXPECT_NEAR(r.max_abs_error, MaxAbsError(data, r.synopsis), 1e-9);
+  EXPECT_LE(r.synopsis.size(), 4);
+}
+
+TEST(ExactSmallTest, FullBudgetIsZeroError) {
+  const auto data = testing::RandomData(8, 2);
+  const ExactResult r = ExactOptimalRestricted(data, 8);
+  EXPECT_NEAR(r.max_abs_error, 0.0, 1e-9);
+}
+
+TEST(ExactSmallTest, ZeroBudget) {
+  const std::vector<double> data = {1, 2, 3, 4};
+  const ExactResult r = ExactOptimalRestricted(data, 0);
+  EXPECT_EQ(r.synopsis.size(), 0);
+  EXPECT_NEAR(r.max_abs_error, 4.0, 1e-9);  // |0 - 4|
+}
+
+TEST(ExactSmallTest, NeverWorseThanConventional) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    const auto data = testing::RandomData(16, 100 + seed);
+    for (int64_t b : {1, 2, 4, 6}) {
+      const ExactResult r = ExactOptimalRestricted(data, b);
+      const double conv = MaxAbsError(data, ConventionalSynopsis(data, b));
+      EXPECT_LE(r.max_abs_error, conv + 1e-9)
+          << "seed=" << seed << " b=" << b;
+    }
+  }
+}
+
+TEST(ExactSmallTest, MonotoneInBudget) {
+  const auto data = testing::RandomData(16, 33);
+  double prev = std::numeric_limits<double>::infinity();
+  for (int64_t b = 0; b <= 6; ++b) {
+    const ExactResult r = ExactOptimalRestricted(data, b);
+    EXPECT_LE(r.max_abs_error, prev + 1e-12);
+    prev = r.max_abs_error;
+  }
+}
+
+}  // namespace
+}  // namespace dwm

@@ -1,0 +1,110 @@
+#include "data/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace dwm {
+namespace {
+
+TEST(GeneratorsTest, UniformRangeAndMoments) {
+  const auto data = MakeUniform(100000, 1000.0, 1);
+  ASSERT_EQ(data.size(), 100000u);
+  const DataStats s = ComputeStats(data);
+  EXPECT_GE(s.min, 0.0);
+  EXPECT_LE(s.max, 1000.0);
+  EXPECT_NEAR(s.avg, 500.0, 10.0);
+  EXPECT_NEAR(s.stdev, 1000.0 / std::sqrt(12.0), 10.0);
+}
+
+TEST(GeneratorsTest, UniformDeterministic) {
+  EXPECT_EQ(MakeUniform(1000, 10.0, 7), MakeUniform(1000, 10.0, 7));
+  EXPECT_NE(MakeUniform(1000, 10.0, 7), MakeUniform(1000, 10.0, 8));
+}
+
+TEST(GeneratorsTest, ZipfBiasGrowsWithExponent) {
+  const auto z07 = MakeZipf(50000, 0.7, 1000, 3);
+  const auto z15 = MakeZipf(50000, 1.5, 1000, 3);
+  const DataStats s07 = ComputeStats(z07);
+  const DataStats s15 = ComputeStats(z15);
+  // Stronger bias => smaller average value.
+  EXPECT_LT(s15.avg, s07.avg);
+  EXPECT_GE(s07.min, 1.0);
+  EXPECT_LE(s07.max, 1000.0);
+  // Zipf-1.5: P(1) = 1/zeta_M(1.5) ~ 0.38, so value 1 dominates.
+  const int64_t ones15 = std::count(z15.begin(), z15.end(), 1.0);
+  const int64_t ones07 = std::count(z07.begin(), z07.end(), 1.0);
+  EXPECT_GT(ones15, 17000);
+  EXPECT_GT(ones15, 2 * ones07);
+}
+
+TEST(GeneratorsTest, ZipfValuesAreIntegersInRange) {
+  const auto z = MakeZipf(10000, 1.0, 100, 5);
+  for (double v : z) {
+    EXPECT_GE(v, 1.0);
+    EXPECT_LE(v, 100.0);
+    EXPECT_EQ(v, std::floor(v));
+  }
+}
+
+TEST(GeneratorsTest, NyctLikeSmallPartitionsMatchTable3Shape) {
+  // NYCT2M: avg 672, stdev 483, max 10800.
+  const auto data = MakeNyctLike(2 * 1024 * 1024, 11);
+  const DataStats s = ComputeStats(data);
+  EXPECT_LE(s.max, 10800.0 + 1e-9);
+  EXPECT_GT(s.avg, 300.0);
+  EXPECT_LT(s.avg, 1100.0);
+  EXPECT_GT(s.stdev, 250.0);
+}
+
+TEST(GeneratorsTest, NyctLikeAverageFallsWithSize) {
+  // Table 3: avg falls from 672 (2M) to 127 (16M).
+  const DataStats small = ComputeStats(MakeNyctLike(1 << 19, 13));
+  const DataStats large = ComputeStats(MakeNyctLike(1 << 23, 13));
+  EXPECT_GT(small.avg, large.avg);
+}
+
+TEST(GeneratorsTest, NyctLikeCorruptTailOnlyAtLargeSizes) {
+  const DataStats small = ComputeStats(MakeNyctLike(1 << 20, 17));
+  EXPECT_LE(small.max, 10800.0 + 1e-9);
+}
+
+TEST(GeneratorsTest, WdLikeMatchesTable3Shape) {
+  // WD: avg ~121-138, stdev ~119, max 655.
+  const auto data = MakeWdLike(1 << 21, 19);
+  const DataStats s = ComputeStats(data);
+  EXPECT_GT(s.avg, 60.0);
+  EXPECT_LT(s.avg, 220.0);
+  EXPECT_GT(s.stdev, 60.0);
+  EXPECT_LE(s.max, 655.0);
+  EXPECT_GE(s.min, 0.0);
+}
+
+TEST(GeneratorsTest, WdLikeIsSmoother) {
+  // Smoothness proxy: mean absolute first difference much smaller than for
+  // uniform data of the same range.
+  const auto wd = MakeWdLike(1 << 16, 23);
+  const auto uni = MakeUniform(1 << 16, 360.0, 23);
+  auto mean_diff = [](const std::vector<double>& d) {
+    double sum = 0.0;
+    for (size_t i = 1; i < d.size(); ++i) sum += std::abs(d[i] - d[i - 1]);
+    return sum / static_cast<double>(d.size() - 1);
+  };
+  EXPECT_LT(mean_diff(wd), mean_diff(uni) / 4.0);
+}
+
+TEST(GeneratorsTest, EmptyAndStats) {
+  EXPECT_TRUE(MakeUniform(0, 10.0, 1).empty());
+  const DataStats s = ComputeStats({});
+  EXPECT_EQ(s.avg, 0.0);
+  EXPECT_EQ(s.stdev, 0.0);
+  const DataStats one = ComputeStats({5.0});
+  EXPECT_EQ(one.avg, 5.0);
+  EXPECT_EQ(one.stdev, 0.0);
+  EXPECT_EQ(one.max, 5.0);
+  EXPECT_EQ(one.min, 5.0);
+}
+
+}  // namespace
+}  // namespace dwm

@@ -1,0 +1,164 @@
+#include "core/greedy_abs.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "core/conventional.h"
+#include "core/exact_small.h"
+#include "test_util.h"
+#include "wavelet/haar.h"
+#include "wavelet/metrics.h"
+
+namespace dwm {
+namespace {
+
+TEST(GreedyAbsTest, ReportedErrorMatchesMeasured) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    const auto data = testing::RandomData(64, seed);
+    for (int64_t b : {1, 4, 8, 16, 32}) {
+      const GreedyAbsResult r = GreedyAbs(data, b);
+      EXPECT_NEAR(r.max_abs_error, MaxAbsError(data, r.synopsis), 1e-7)
+          << "seed=" << seed << " b=" << b;
+      EXPECT_LE(r.synopsis.size(), b);
+    }
+  }
+}
+
+TEST(GreedyAbsTest, FullBudgetIsLossless) {
+  const auto data = testing::RandomData(32, 3);
+  const GreedyAbsResult r = GreedyAbs(data, 32);
+  EXPECT_NEAR(r.max_abs_error, 0.0, 1e-9);
+}
+
+TEST(GreedyAbsTest, ZeroBudget) {
+  const std::vector<double> data = {1, 2, 3, 4};
+  const GreedyAbsResult r = GreedyAbs(data, 0);
+  EXPECT_EQ(r.synopsis.size(), 0);
+  EXPECT_NEAR(r.max_abs_error, 4.0, 1e-9);
+}
+
+TEST(GreedyAbsTest, SizeOneDomain) {
+  const GreedyAbsResult keep = GreedyAbs({5.0}, 1);
+  EXPECT_EQ(keep.synopsis.size(), 1);
+  EXPECT_NEAR(keep.max_abs_error, 0.0, 1e-12);
+  const GreedyAbsResult drop = GreedyAbs({5.0}, 0);
+  EXPECT_EQ(drop.synopsis.size(), 0);
+  EXPECT_NEAR(drop.max_abs_error, 5.0, 1e-12);
+}
+
+TEST(GreedyAbsTest, AtLeastOptimalBoundOnTinyInputs) {
+  // Greedy can't beat the exact optimum; and on these easy inputs it should
+  // be within 3x of it.
+  for (uint64_t seed = 0; seed < 15; ++seed) {
+    const auto data = testing::RandomData(16, 40 + seed);
+    for (int64_t b : {2, 4, 8}) {
+      const double exact = ExactOptimalRestricted(data, b).max_abs_error;
+      const double greedy = GreedyAbs(data, b).max_abs_error;
+      EXPECT_GE(greedy, exact - 1e-9);
+    }
+  }
+}
+
+TEST(GreedyAbsTest, BeatsOrMatchesConventionalOnSpikyData) {
+  // Max-error-targeted thresholding should usually beat L2 thresholding on
+  // max_abs; assert an aggregate win (the paper reports 3-4.5x on NYCT).
+  double greedy_total = 0.0;
+  double conv_total = 0.0;
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    const auto data = testing::RandomData(256, 70 + seed);
+    const int64_t b = 32;
+    greedy_total += GreedyAbs(data, b).max_abs_error;
+    conv_total += MaxAbsError(data, ConventionalSynopsis(data, b));
+  }
+  EXPECT_LE(greedy_total, conv_total + 1e-9);
+}
+
+TEST(GreedyAbsTest, PiecewiseConstantDataNeedsFewCoefficients) {
+  // Data with k constant pieces is representable with ~k coefficients.
+  std::vector<double> data(64, 10.0);
+  for (int i = 32; i < 64; ++i) data[static_cast<size_t>(i)] = 20.0;
+  const GreedyAbsResult r = GreedyAbs(data, 2);
+  EXPECT_NEAR(r.max_abs_error, 0.0, 1e-9);
+}
+
+TEST(GreedyAbsTest, DiscardOrderCoversAllSlots) {
+  const auto data = testing::RandomData(32, 5);
+  GreedyAbsTree tree(ForwardHaar(data), /*has_average=*/true, 0.0);
+  const auto events = tree.Run();
+  ASSERT_EQ(events.size(), 32u);
+  std::set<int64_t> slots;
+  for (const auto& e : events) slots.insert(e.slot);
+  EXPECT_EQ(slots.size(), 32u);
+  // Last event: everything dropped; error equals max |d_i|.
+  double max_abs = 0.0;
+  for (double v : data) max_abs = std::max(max_abs, std::abs(v));
+  EXPECT_NEAR(events.back().error, max_abs, 1e-9);
+}
+
+TEST(GreedyAbsTest, EventErrorsMatchPrefixSynopses) {
+  // The running error after t discards equals the measured max_abs of the
+  // synopsis that drops exactly those t coefficients.
+  const auto data = testing::RandomData(16, 8);
+  const auto coeffs = ForwardHaar(data);
+  GreedyAbsTree tree(coeffs, true, 0.0);
+  const auto events = tree.Run();
+  std::set<int64_t> dropped;
+  for (const auto& e : events) {
+    dropped.insert(e.slot);
+    std::vector<Coefficient> kept;
+    for (int64_t i = 0; i < 16; ++i) {
+      if (!dropped.count(i) && coeffs[static_cast<size_t>(i)] != 0.0) {
+        kept.push_back({i, coeffs[static_cast<size_t>(i)]});
+      }
+    }
+    EXPECT_NEAR(e.error, MaxAbsError(data, Synopsis(16, kept)), 1e-7);
+  }
+}
+
+TEST(GreedyAbsTest, SubtreeRunWithIncomingError) {
+  // A detail subtree (no average node) with uniform incoming error e_in:
+  // with nothing discarded the max error is |e_in|; events never go below.
+  const auto data = testing::RandomData(16, 12);
+  auto coeffs = ForwardHaar(data);
+  const double e_in = -7.5;
+  GreedyAbsTree tree(coeffs, /*has_average=*/false, e_in);
+  const auto events = tree.Run();
+  ASSERT_EQ(events.size(), 15u);  // slots 1..15
+  for (const auto& e : events) EXPECT_GE(e.error, std::abs(e_in) - 1e-9);
+}
+
+TEST(GreedyAbsTest, BestPrefixNotWorseThanExactlyBudget) {
+  // The best-of-last-B+1 rule can only improve on "exactly B kept".
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    const auto data = testing::RandomData(64, 90 + seed);
+    const auto coeffs = ForwardHaar(data);
+    GreedyAbsTree tree(coeffs, true, 0.0);
+    const auto events = tree.Run();
+    const int64_t b = 16;
+    const double exactly_b = events[64 - b - 1].error;
+    EXPECT_LE(GreedyAbsFromCoeffs(coeffs, b).max_abs_error, exactly_b + 1e-9);
+  }
+}
+
+class GreedyAbsPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(GreedyAbsPropertyTest, InvariantsHold) {
+  const int64_t n = int64_t{1} << std::get<0>(GetParam());
+  const int64_t b = n >> std::get<1>(GetParam());
+  const auto data = testing::RandomData(n, static_cast<uint64_t>(n + b));
+  const GreedyAbsResult r = GreedyAbs(data, b);
+  EXPECT_LE(r.synopsis.size(), b);
+  EXPECT_NEAR(r.max_abs_error, MaxAbsError(data, r.synopsis), 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GreedyAbsPropertyTest,
+    ::testing::Combine(::testing::Values(3, 5, 7, 9, 11),
+                       ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace dwm

@@ -1,0 +1,119 @@
+#include "core/greedy_rel.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/greedy_abs.h"
+#include "test_util.h"
+#include "wavelet/haar.h"
+#include "wavelet/metrics.h"
+
+namespace dwm {
+namespace {
+
+TEST(GreedyRelTest, ReportedErrorMatchesMeasured) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    const auto data = testing::RandomData(64, seed, 50.0);
+    for (int64_t b : {4, 8, 16}) {
+      const GreedyRelResult r = GreedyRel(data, b, /*sanity=*/1.0);
+      EXPECT_NEAR(r.max_rel_error, MaxRelError(data, r.synopsis, 1.0), 1e-7)
+          << "seed=" << seed << " b=" << b;
+      EXPECT_LE(r.synopsis.size(), b);
+    }
+  }
+}
+
+TEST(GreedyRelTest, FullBudgetIsLossless) {
+  const auto data = testing::RandomData(32, 3);
+  EXPECT_NEAR(GreedyRel(data, 32, 1.0).max_rel_error, 0.0, 1e-9);
+}
+
+TEST(GreedyRelTest, ZeroBudget) {
+  const std::vector<double> data = {2, 4, 8, 16};
+  const GreedyRelResult r = GreedyRel(data, 0, 1.0);
+  EXPECT_EQ(r.synopsis.size(), 0);
+  // err/denom = 1 for every value (denom = |d|).
+  EXPECT_NEAR(r.max_rel_error, 1.0, 1e-9);
+}
+
+TEST(GreedyRelTest, SanityBoundDampensSmallValues) {
+  // One tiny and several large values: with a large sanity bound, the tiny
+  // value's relative error cannot dominate.
+  std::vector<double> data = {0.001, 100, 100, 100, 200, 200, 300, 300};
+  const GreedyRelResult tight = GreedyRel(data, 2, /*sanity=*/0.001);
+  const GreedyRelResult loose = GreedyRel(data, 2, /*sanity=*/10.0);
+  EXPECT_LE(loose.max_rel_error, tight.max_rel_error + 1e-9);
+}
+
+TEST(GreedyRelTest, FavorsRelativeOverAbsoluteAccuracy) {
+  // Region of small values + region of large values. GreedyRel should yield
+  // a better max_rel than GreedyAbs with the same budget (that is its job).
+  std::vector<double> data(64);
+  for (int i = 0; i < 32; ++i) data[static_cast<size_t>(i)] = 1.0 + 0.3 * ((i * 7) % 5);
+  for (int i = 32; i < 64; ++i) data[static_cast<size_t>(i)] = 1000.0 + 90.0 * ((i * 11) % 7);
+  const double sanity = 0.5;
+  const int64_t b = 8;
+  const double rel_by_rel =
+      MaxRelError(data, GreedyRel(data, b, sanity).synopsis, sanity);
+  const double rel_by_abs =
+      MaxRelError(data, GreedyAbs(data, b).synopsis, sanity);
+  EXPECT_LE(rel_by_rel, rel_by_abs + 1e-9);
+}
+
+TEST(GreedyRelTest, DiscardOrderCoversAllSlots) {
+  const auto data = testing::RandomData(32, 5, 20.0);
+  std::vector<double> weights(32);
+  for (int i = 0; i < 32; ++i) {
+    weights[static_cast<size_t>(i)] =
+        std::max(std::abs(data[static_cast<size_t>(i)]), 1.0);
+  }
+  GreedyRelTree tree(ForwardHaar(data), true, 0.0, weights);
+  const auto events = tree.Run();
+  ASSERT_EQ(events.size(), 32u);
+  std::set<int64_t> slots;
+  for (const auto& e : events) slots.insert(e.slot);
+  EXPECT_EQ(slots.size(), 32u);
+}
+
+TEST(GreedyRelTest, EventErrorsMatchPrefixSynopses) {
+  const auto data = testing::RandomData(16, 8, 30.0);
+  const auto coeffs = ForwardHaar(data);
+  const double sanity = 1.0;
+  std::vector<double> weights(16);
+  for (int i = 0; i < 16; ++i) {
+    weights[static_cast<size_t>(i)] =
+        std::max(std::abs(data[static_cast<size_t>(i)]), sanity);
+  }
+  GreedyRelTree tree(coeffs, true, 0.0, weights);
+  const auto events = tree.Run();
+  std::set<int64_t> dropped;
+  for (const auto& e : events) {
+    dropped.insert(e.slot);
+    std::vector<Coefficient> kept;
+    for (int64_t i = 0; i < 16; ++i) {
+      if (!dropped.count(i) && coeffs[static_cast<size_t>(i)] != 0.0) {
+        kept.push_back({i, coeffs[static_cast<size_t>(i)]});
+      }
+    }
+    EXPECT_NEAR(e.error, MaxRelError(data, Synopsis(16, kept), sanity), 1e-7);
+  }
+}
+
+class GreedyRelPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GreedyRelPropertyTest, InvariantsHold) {
+  const int64_t n = int64_t{1} << GetParam();
+  const auto data = testing::RandomData(n, static_cast<uint64_t>(n), 200.0);
+  const int64_t b = n / 4;
+  const GreedyRelResult r = GreedyRel(data, b, 1.0);
+  EXPECT_LE(r.synopsis.size(), b);
+  EXPECT_NEAR(r.max_rel_error, MaxRelError(data, r.synopsis, 1.0), 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GreedyRelPropertyTest,
+                         ::testing::Values(3, 5, 7, 9));
+
+}  // namespace
+}  // namespace dwm

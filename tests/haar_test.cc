@@ -1,0 +1,120 @@
+#include "wavelet/haar.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "test_util.h"
+
+namespace dwm {
+namespace {
+
+// The running example of Section 2.1 / Table 1 / Figure 1.
+const std::vector<double> kPaperData = {5, 5, 0, 26, 1, 3, 14, 2};
+const std::vector<double> kPaperCoeffs = {7, 2, -4, -3, 0, -13, -1, 6};
+
+TEST(HaarTest, PaperExampleForward) {
+  EXPECT_EQ(ForwardHaar(kPaperData), kPaperCoeffs);
+}
+
+TEST(HaarTest, PaperExampleInverse) {
+  EXPECT_EQ(InverseHaar(kPaperCoeffs), kPaperData);
+}
+
+TEST(HaarTest, SizeOne) {
+  EXPECT_EQ(ForwardHaar({42.0}), std::vector<double>{42.0});
+  EXPECT_EQ(InverseHaar({42.0}), std::vector<double>{42.0});
+}
+
+TEST(HaarTest, SizeTwo) {
+  const std::vector<double> w = ForwardHaar({10.0, 4.0});
+  EXPECT_DOUBLE_EQ(w[0], 7.0);
+  EXPECT_DOUBLE_EQ(w[1], 3.0);
+  EXPECT_EQ(InverseHaar(w), (std::vector<double>{10.0, 4.0}));
+}
+
+TEST(HaarTest, ConstantDataHasOnlyAverage) {
+  const std::vector<double> w = ForwardHaar(std::vector<double>(16, 3.5));
+  EXPECT_DOUBLE_EQ(w[0], 3.5);
+  for (size_t i = 1; i < w.size(); ++i) EXPECT_DOUBLE_EQ(w[i], 0.0);
+}
+
+TEST(HaarTest, LinearityOfTransform) {
+  const auto a = testing::RandomData(64, 1);
+  const auto b = testing::RandomData(64, 2);
+  std::vector<double> sum(64);
+  for (int i = 0; i < 64; ++i) sum[i] = 2.0 * a[i] + 3.0 * b[i];
+  const auto wa = ForwardHaar(a);
+  const auto wb = ForwardHaar(b);
+  const auto ws = ForwardHaar(sum);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_NEAR(ws[i], 2.0 * wa[i] + 3.0 * wb[i], 1e-9);
+  }
+}
+
+class HaarRoundtripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HaarRoundtripTest, ForwardInverseIsIdentity) {
+  const int64_t n = int64_t{1} << GetParam();
+  const auto data = testing::RandomData(n, 1000 + GetParam());
+  const auto rec = InverseHaar(ForwardHaar(data));
+  ASSERT_EQ(rec.size(), data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(rec[i], data[i], 1e-8) << "i=" << i;
+  }
+}
+
+TEST_P(HaarRoundtripTest, InverseForwardIsIdentity) {
+  const int64_t n = int64_t{1} << GetParam();
+  const auto coeffs = testing::RandomData(n, 2000 + GetParam());
+  const auto again = ForwardHaar(InverseHaar(coeffs));
+  for (size_t i = 0; i < coeffs.size(); ++i) {
+    EXPECT_NEAR(again[i], coeffs[i], 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HaarRoundtripTest,
+                         ::testing::Values(0, 1, 2, 3, 4, 6, 8, 10, 14));
+
+TEST(HaarPaddingTest, AlreadyPowerOfTwoIsUnchanged) {
+  std::vector<double> data = {1, 2, 3, 4};
+  EXPECT_EQ(PadToPowerOfTwo(&data), 4);
+  EXPECT_EQ(data, (std::vector<double>{1, 2, 3, 4}));
+}
+
+TEST(HaarPaddingTest, PadsWithLastValue) {
+  std::vector<double> data = {1, 2, 3, 4, 5};
+  EXPECT_EQ(PadToPowerOfTwo(&data), 5);
+  EXPECT_EQ(data, (std::vector<double>{1, 2, 3, 4, 5, 5, 5, 5}));
+}
+
+TEST(HaarPaddingTest, SingleValue) {
+  std::vector<double> data = {9.5};
+  EXPECT_EQ(PadToPowerOfTwo(&data), 1);
+  EXPECT_EQ(data, (std::vector<double>{9.5}));
+}
+
+TEST(HaarPaddingTest, PaddedDomainRoundtrips) {
+  std::vector<double> data = dwm::testing::RandomData(1000, 13);
+  const int64_t original = PadToPowerOfTwo(&data);
+  EXPECT_EQ(original, 1000);
+  EXPECT_EQ(data.size(), 1024u);
+  const auto rec = InverseHaar(ForwardHaar(data));
+  for (size_t i = 0; i < 1000; ++i) EXPECT_NEAR(rec[i], data[i], 1e-9);
+}
+
+TEST(HaarTest, SignificanceNormalization) {
+  // Same absolute value: the coarser coefficient is more significant.
+  EXPECT_GT(Significance(1, 5.0), Significance(2, 5.0));
+  EXPECT_GT(Significance(2, 5.0), Significance(4, 5.0));
+  EXPECT_DOUBLE_EQ(Significance(0, 5.0), Significance(1, 5.0));
+  EXPECT_DOUBLE_EQ(Significance(2, 5.0), Significance(3, 5.0));
+  EXPECT_DOUBLE_EQ(Significance(4, -5.0), Significance(4, 5.0));
+  // Dropping c at level l costs c^2 * n / 2^l in squared L2: ratio check.
+  EXPECT_NEAR(Significance(2, 1.0) / Significance(8, 1.0), std::sqrt(4.0),
+              1e-12);
+}
+
+}  // namespace
+}  // namespace dwm

@@ -1,0 +1,105 @@
+#include "core/indirect_haar.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/conventional.h"
+#include "core/greedy_abs.h"
+#include "test_util.h"
+#include "wavelet/haar.h"
+#include "wavelet/metrics.h"
+
+namespace dwm {
+namespace {
+
+TEST(IndirectHaarTest, BudgetPlusOneLargestAbs) {
+  const std::vector<double> coeffs = {7, 2, -4, -3, 0, -13, -1, 6};
+  EXPECT_DOUBLE_EQ(BudgetPlusOneLargestAbs(coeffs, 0), 13.0);
+  EXPECT_DOUBLE_EQ(BudgetPlusOneLargestAbs(coeffs, 1), 7.0);
+  EXPECT_DOUBLE_EQ(BudgetPlusOneLargestAbs(coeffs, 2), 6.0);
+  EXPECT_DOUBLE_EQ(BudgetPlusOneLargestAbs(coeffs, 7), 0.0);
+  EXPECT_DOUBLE_EQ(BudgetPlusOneLargestAbs(coeffs, 8), 0.0);
+}
+
+TEST(IndirectHaarTest, WithinBudgetAndReportsTrueError) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    const auto data = testing::RandomData(64, seed, 40.0);
+    const IndirectHaarResult r = IndirectHaar(data, {16, 0.25, 60});
+    ASSERT_TRUE(r.converged) << "seed=" << seed;
+    EXPECT_LE(r.synopsis.size(), 16);
+    EXPECT_NEAR(r.max_abs_error, MaxAbsError(data, r.synopsis), 1e-9);
+  }
+}
+
+TEST(IndirectHaarTest, BeatsConventionalOnMaxAbs) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    const auto data = testing::RandomData(128, 30 + seed, 80.0);
+    const int64_t b = 24;
+    const IndirectHaarResult r = IndirectHaar(data, {b, 0.25, 60});
+    ASSERT_TRUE(r.converged);
+    const double conv = MaxAbsError(data, ConventionalSynopsis(data, b));
+    EXPECT_LE(r.max_abs_error, conv + 1e-9);
+  }
+}
+
+TEST(IndirectHaarTest, UnrestrictedAtLeastMatchesGreedyWithFineGrid) {
+  // With a fine grid, the DP's unrestricted optimum should not lose to the
+  // restricted greedy heuristic.
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    const auto data = testing::RandomData(32, 50 + seed, 20.0);
+    const int64_t b = 8;
+    const double greedy = GreedyAbs(data, b).max_abs_error;
+    const IndirectHaarResult r = IndirectHaar(data, {b, 0.01, 80});
+    ASSERT_TRUE(r.converged);
+    EXPECT_LE(r.max_abs_error, greedy + 0.02) << "seed=" << seed;
+  }
+}
+
+TEST(IndirectHaarTest, FullBudgetIsLossless) {
+  // Conventional with full budget is exact, so the search short-circuits.
+  const auto data = testing::RandomData(32, 3, 10.0);
+  const IndirectHaarResult r = IndirectHaar(data, {32, 0.5, 60});
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.max_abs_error, 0.0, 1e-9);
+}
+
+TEST(IndirectHaarTest, ErrorNonIncreasingInBudget) {
+  const auto data = testing::PiecewiseData(128, 77, 100.0);
+  double prev = std::numeric_limits<double>::infinity();
+  for (int64_t b : {8, 16, 32, 64}) {
+    const IndirectHaarResult r = IndirectHaar(data, {b, 0.25, 60});
+    ASSERT_TRUE(r.converged);
+    // Small slack: quantization can wiggle by about one grid step.
+    EXPECT_LE(r.max_abs_error, prev + 0.5) << "b=" << b;
+    prev = r.max_abs_error;
+  }
+}
+
+TEST(IndirectHaarTest, CoarseQuantumReportsFailure) {
+  // quantum far larger than the data range: every Problem-2 run infeasible.
+  const auto data = testing::RandomData(32, 5, 1.0);
+  const IndirectHaarResult r = IndirectHaar(data, {4, 1e6, 10});
+  EXPECT_FALSE(r.converged);
+}
+
+TEST(IndirectHaarTest, SearchDriverHonorsSolverContract) {
+  // Synthetic Problem-2 solver: count = ceil(10 - eps) for eps in [0, 10],
+  // achieved error == requested eps. Budget 6 => best error is 4.
+  auto solver = [](double eps) {
+    MhsResult r;
+    r.feasible = true;
+    r.count = static_cast<int64_t>(std::max(0.0, std::ceil(10.0 - eps)));
+    r.max_abs_error = eps;
+    r.synopsis = Synopsis(2, {});
+    return r;
+  };
+  const IndirectHaarResult r =
+      IndirectHaarSearch(solver, 0.0, 10.0, 6, 0.01, 100);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.max_abs_error, 4.0, 0.05);
+}
+
+}  // namespace
+}  // namespace dwm

@@ -1,0 +1,125 @@
+// Cross-algorithm integration checks: every thresholding algorithm built in
+// this repository run side by side on the same datasets, with the quality
+// orderings the theory demands.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/conventional.h"
+#include "core/exact_small.h"
+#include "core/greedy_abs.h"
+#include "core/greedy_rel.h"
+#include "core/indirect_haar.h"
+#include "core/min_max_var.h"
+#include "data/generators.h"
+#include "dist/dcon.h"
+#include "dist/dgreedy.h"
+#include "dist/dindirect_haar.h"
+#include "test_util.h"
+#include "wavelet/haar.h"
+#include "wavelet/metrics.h"
+
+namespace dwm {
+namespace {
+
+mr::ClusterConfig FastCluster() {
+  mr::ClusterConfig config;
+  config.task_startup_seconds = 0.1;
+  config.job_overhead_seconds = 1.0;
+  return config;
+}
+
+class CrossAlgorithmTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrossAlgorithmTest, QualityOrderingHolds) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  const int64_t n = 256;
+  const int64_t budget = 32;
+  const auto data = testing::RandomData(n, seed, 50.0);
+
+  const double conventional =
+      MaxAbsError(data, ConventionalSynopsis(data, budget));
+  const double greedy = GreedyAbs(data, budget).max_abs_error;
+  const IndirectHaarResult indirect = IndirectHaar(data, {budget, 0.05, 80});
+  ASSERT_TRUE(indirect.converged);
+
+  // Max-error algorithms beat the L2 baseline on max_abs.
+  EXPECT_LE(greedy, conventional + 1e-9);
+  EXPECT_LE(indirect.max_abs_error, conventional + 1e-9);
+  // The unrestricted DP with a fine grid is at least as good as the
+  // restricted greedy (up to grid granularity).
+  EXPECT_LE(indirect.max_abs_error, greedy + 0.1);
+
+  // Distributed versions track their centralized counterparts.
+  DGreedyOptions dg;
+  dg.budget = budget;
+  dg.base_leaves = 32;
+  const double dgreedy =
+      MaxAbsError(data, DGreedyAbs(data, dg, FastCluster()).synopsis);
+  EXPECT_LE(dgreedy, 1.5 * greedy + 1e-6);
+  const double dcon =
+      MaxAbsError(data, RunCon(data, budget, 32, FastCluster()).synopsis);
+  EXPECT_DOUBLE_EQ(dcon, conventional);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossAlgorithmTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(CrossAlgorithmTest, ExactOracleSandwichesEverything) {
+  for (uint64_t seed = 10; seed < 14; ++seed) {
+    const auto data = testing::RandomData(16, seed, 30.0);
+    const int64_t budget = 5;
+    const double exact = ExactOptimalRestricted(data, budget).max_abs_error;
+    EXPECT_LE(exact, GreedyAbs(data, budget).max_abs_error + 1e-9);
+    EXPECT_LE(exact,
+              MaxAbsError(data, ConventionalSynopsis(data, budget)) + 1e-9);
+    // Unrestricted can beat restricted-exact, but not the zero bound.
+    const IndirectHaarResult r = IndirectHaar(data, {budget, 0.01, 80});
+    ASSERT_TRUE(r.converged);
+    EXPECT_LE(r.max_abs_error, exact + 0.05);
+  }
+}
+
+TEST(CrossAlgorithmTest, L2BaselineStaysBestOnItsOwnMetric) {
+  // The conventional synopsis minimizes L2; the max-error algorithms trade
+  // some L2 for the guarantee, but must not be catastrophically worse.
+  const auto data = testing::RandomData(512, 77, 100.0);
+  const int64_t budget = 64;
+  const Synopsis conventional = ConventionalSynopsis(data, budget);
+  const double l2_conv = L2Error(data, conventional);
+  const double l2_greedy = L2Error(data, GreedyAbs(data, budget).synopsis);
+  EXPECT_LE(l2_conv, l2_greedy + 1e-9);
+  EXPECT_LE(l2_greedy, 3.0 * l2_conv + 1e-9);
+}
+
+TEST(CrossAlgorithmTest, SmoothDataIsEasyForEveryone) {
+  // Piecewise-constant data with k segments is exactly representable by
+  // every algorithm once the budget covers the breakpoints.
+  std::vector<double> data(256);
+  for (int i = 0; i < 256; ++i) {
+    data[static_cast<size_t>(i)] = (i / 64) * 10.0;
+  }
+  const int64_t budget = 16;
+  EXPECT_NEAR(GreedyAbs(data, budget).max_abs_error, 0.0, 1e-9);
+  EXPECT_NEAR(MaxAbsError(data, ConventionalSynopsis(data, budget)), 0.0,
+              1e-9);
+  EXPECT_NEAR(GreedyRel(data, budget, 1.0).max_rel_error, 0.0, 1e-9);
+  const MinMaxVarResult mmv = MinMaxVar(data, {budget, 1, 1});
+  EXPECT_NEAR(mmv.max_path_penalty, 0.0, 1e-9);
+}
+
+TEST(CrossAlgorithmTest, PaddingPreservesGuarantees) {
+  // Build on a padded domain; the guarantee covers the original prefix.
+  std::vector<double> data = testing::RandomData(1000, 21, 40.0);
+  const std::vector<double> original = data;
+  PadToPowerOfTwo(&data);
+  const GreedyAbsResult r = GreedyAbs(data, 128);
+  for (int64_t i = 0; i < 1000; ++i) {
+    EXPECT_LE(std::abs(r.synopsis.PointEstimate(i) -
+                       original[static_cast<size_t>(i)]),
+              r.max_abs_error + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace dwm

@@ -1,0 +1,92 @@
+#include "wavelet/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "test_util.h"
+#include "wavelet/haar.h"
+
+namespace dwm {
+namespace {
+
+Synopsis FullSynopsis(const std::vector<double>& data) {
+  const auto coeffs = ForwardHaar(data);
+  std::vector<Coefficient> cs;
+  for (size_t i = 0; i < coeffs.size(); ++i) {
+    if (coeffs[i] != 0.0) cs.push_back({static_cast<int64_t>(i), coeffs[i]});
+  }
+  return Synopsis(static_cast<int64_t>(coeffs.size()), std::move(cs));
+}
+
+TEST(MetricsTest, FullSynopsisHasZeroError) {
+  const auto data = testing::RandomData(64, 5);
+  const Synopsis full = FullSynopsis(data);
+  EXPECT_NEAR(MaxAbsError(data, full), 0.0, 1e-9);
+  EXPECT_NEAR(L2Error(data, full), 0.0, 1e-9);
+  EXPECT_NEAR(MaxRelError(data, full, 1.0), 0.0, 1e-9);
+}
+
+TEST(MetricsTest, EmptySynopsisErrors) {
+  const std::vector<double> data = {3.0, -4.0, 0.0, 5.0};
+  const Synopsis empty(4, {});
+  EXPECT_DOUBLE_EQ(MaxAbsError(data, empty), 5.0);
+  EXPECT_DOUBLE_EQ(L2Error(data, empty),
+                   std::sqrt((9.0 + 16.0 + 0.0 + 25.0) / 4.0));
+  // Sanity bound 1: |err|/max(|d|,1) -> {3/3, 4/4, 0/1, 5/5} = 1.
+  EXPECT_DOUBLE_EQ(MaxRelError(data, empty, 1.0), 1.0);
+  // Large sanity bound dampens everything.
+  EXPECT_DOUBLE_EQ(MaxRelError(data, empty, 10.0), 0.5);
+}
+
+TEST(MetricsTest, SignedErrorsMatchDefinition) {
+  const std::vector<double> data = {5, 5, 0, 26, 1, 3, 14, 2};
+  const Synopsis s(8, {{0, 7.0}, {5, -13.0}, {3, -3.0}});
+  const std::vector<double> err = SignedErrors(data, s);
+  const std::vector<double> rec = s.Reconstruct();
+  for (size_t j = 0; j < data.size(); ++j) {
+    EXPECT_DOUBLE_EQ(err[j], rec[j] - data[j]);
+  }
+  // d5_hat = 4, d5 = 3 -> err = +1.
+  EXPECT_DOUBLE_EQ(err[5], 1.0);
+}
+
+TEST(MetricsTest, MaxAbsDominatedByWorstPoint) {
+  const auto data = testing::PiecewiseData(128, 9);
+  const Synopsis s = FullSynopsis(data);
+  // Remove the largest coefficient: max_abs >= that coefficient's effect.
+  std::vector<Coefficient> cs = s.coefficients();
+  size_t worst = 0;
+  for (size_t i = 0; i < cs.size(); ++i) {
+    if (std::abs(cs[i].value) > std::abs(cs[worst].value)) worst = i;
+  }
+  const double dropped = std::abs(cs[worst].value);
+  cs.erase(cs.begin() + static_cast<int64_t>(worst));
+  const Synopsis truncated(128, std::move(cs));
+  EXPECT_NEAR(MaxAbsError(data, truncated), dropped, 1e-9);
+}
+
+TEST(MetricsTest, RelErrorUsesSanityBound) {
+  const std::vector<double> data = {0.001, 1000.0};
+  const Synopsis empty(2, {});
+  // For an empty synopsis |err| == |d|, so the ratio is capped at 1 and the
+  // sanity bound decides whether the tiny value reaches that cap.
+  EXPECT_NEAR(MaxRelError(data, empty, 1.0), 1.0, 1e-9);
+  EXPECT_NEAR(MaxRelError(data, empty, 0.0005), 1.0, 1e-9);
+  EXPECT_NEAR(MaxRelError(data, empty, 2000.0), 0.5, 1e-9);
+}
+
+TEST(MetricsTest, L2LessOrEqualMaxAbs) {
+  const auto data = testing::RandomData(256, 21);
+  std::vector<Coefficient> cs;
+  const auto coeffs = ForwardHaar(data);
+  for (size_t i = 0; i < coeffs.size(); i += 4) {
+    if (coeffs[i] != 0.0) cs.push_back({static_cast<int64_t>(i), coeffs[i]});
+  }
+  const Synopsis s(256, std::move(cs));
+  EXPECT_LE(L2Error(data, s), MaxAbsError(data, s) + 1e-12);
+}
+
+}  // namespace
+}  // namespace dwm

@@ -1,0 +1,162 @@
+#include "core/min_haar_space.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/exact_small.h"
+#include "test_util.h"
+#include "wavelet/metrics.h"
+
+namespace dwm {
+namespace {
+
+TEST(MhsRowTest, PairRowWindowAndCells) {
+  // Pair (10, 14): avg 12. eps = 1, quantum = 1 -> window {11, 12, 13}.
+  const mhs::Row row = mhs::PairRow(10, 14, 1.0, 1.0);
+  ASSERT_TRUE(row.feasible());
+  EXPECT_EQ(row.lo, 11);
+  EXPECT_EQ(row.hi(), 13);
+  // No v can satisfy both leaves directly (|10-14| > 2*eps): all count 1.
+  for (int64_t g = 11; g <= 13; ++g) {
+    const mhs::Cell* c = row.Find(g);
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->count, 1);
+    EXPECT_NEAR(c->err, std::abs(static_cast<double>(g) - 12.0), 1e-12);
+  }
+}
+
+TEST(MhsRowTest, PairRowDirectFeasibility) {
+  // Pair (10, 11) with eps = 2: v in [8.5+... ] many cells need 0 coeffs.
+  const mhs::Row row = mhs::PairRow(10, 11, 2.0, 1.0);
+  const mhs::Cell* at10 = row.Find(10);
+  ASSERT_NE(at10, nullptr);
+  EXPECT_EQ(at10->count, 0);
+  EXPECT_NEAR(at10->err, 1.0, 1e-12);  // max(|10-10|, |10-11|)
+}
+
+TEST(MhsRowTest, PairRowInfeasibleWhenGridTooCoarse) {
+  // eps = 0.3, quantum = 10: window around avg=12 of width 0.6 holds no
+  // multiple of 10.
+  const mhs::Row row = mhs::PairRow(10, 14, 0.3, 10.0);
+  EXPECT_FALSE(row.feasible());
+}
+
+TEST(MhsRowTest, FindOutsideWindow) {
+  const mhs::Row row = mhs::PairRow(10, 14, 1.0, 1.0);
+  EXPECT_EQ(row.Find(10), nullptr);
+  EXPECT_EQ(row.Find(14), nullptr);
+}
+
+TEST(MhsRowTest, CombinePreservesWindowAveraging) {
+  const mhs::Row l = mhs::PairRow(0, 2, 2.0, 1.0);    // window centered 1
+  const mhs::Row r = mhs::PairRow(10, 12, 2.0, 1.0);  // window centered 11
+  const mhs::Row parent = mhs::CombineRows(l, r);
+  ASSERT_TRUE(parent.feasible());
+  // Parent window centered at (1+11)/2 = 6 with half-width ~2.
+  EXPECT_GE(parent.lo, 4);
+  EXPECT_LE(parent.hi(), 8);
+  const mhs::Cell* mid = parent.Find(6);
+  ASSERT_NE(mid, nullptr);
+  // v=6: must retain the node (children incoming 6 is outside both pair
+  // windows without correction) => the node plus possibly children.
+  EXPECT_GE(mid->count, 1);
+}
+
+TEST(MinHaarSpaceTest, RespectsErrorBound) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    const auto data = testing::RandomData(64, seed, 50.0);
+    for (double eps : {2.0, 5.0, 20.0}) {
+      const MhsResult r = MinHaarSpace(data, {eps, 0.25});
+      ASSERT_TRUE(r.feasible);
+      EXPECT_LE(MaxAbsError(data, r.synopsis), eps + 1e-9)
+          << "seed=" << seed << " eps=" << eps;
+      EXPECT_NEAR(r.max_abs_error, MaxAbsError(data, r.synopsis), 1e-9);
+    }
+  }
+}
+
+TEST(MinHaarSpaceTest, CountMonotoneInEps) {
+  const auto data = testing::RandomData(128, 4, 100.0);
+  int64_t prev = std::numeric_limits<int64_t>::max();
+  for (double eps : {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0}) {
+    const MhsResult r = MinHaarSpace(data, {eps, 0.5});
+    ASSERT_TRUE(r.feasible);
+    EXPECT_LE(r.count, prev);
+    prev = r.count;
+  }
+}
+
+TEST(MinHaarSpaceTest, HugeEpsNeedsNothing) {
+  const auto data = testing::RandomData(32, 7, 10.0);
+  const MhsResult r = MinHaarSpace(data, {1000.0, 1.0});
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.count, 0);
+}
+
+TEST(MinHaarSpaceTest, EpsZeroReconstructsExactlyOnGridData) {
+  // Integer data on an integer grid: eps=0 must reproduce the data exactly.
+  const std::vector<double> data = {5, 5, 0, 26, 1, 3, 14, 2};
+  const MhsResult r = MinHaarSpace(data, {0.0, 1.0});
+  ASSERT_TRUE(r.feasible);
+  EXPECT_NEAR(MaxAbsError(data, r.synopsis), 0.0, 1e-9);
+}
+
+TEST(MinHaarSpaceTest, InfeasibleWhenQuantumTooCoarse) {
+  // Section 6.2: delta much larger than the space to quantize.
+  const auto data = testing::RandomData(32, 9, 10.0);
+  const MhsResult r = MinHaarSpace(data, {0.01, 1000.0});
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(MinHaarSpaceTest, UnrestrictedBeatsRestrictedOptimum) {
+  // For the error achieved by the exact restricted optimum with budget B,
+  // MinHaarSpace (unrestricted, fine grid) needs at most B coefficients.
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    const auto data = testing::RandomData(16, 60 + seed, 20.0);
+    for (int64_t b : {2, 4, 6}) {
+      const ExactResult exact = ExactOptimalRestricted(data, b);
+      const MhsResult r =
+          MinHaarSpace(data, {exact.max_abs_error + 1e-6, 0.01});
+      ASSERT_TRUE(r.feasible);
+      EXPECT_LE(r.count, b) << "seed=" << seed << " b=" << b;
+    }
+  }
+}
+
+TEST(MinHaarSpaceTest, SmallestDomain) {
+  const std::vector<double> data = {8.0, 2.0};
+  const MhsResult tight = MinHaarSpace(data, {0.0, 1.0});
+  ASSERT_TRUE(tight.feasible);
+  EXPECT_EQ(tight.count, 2);  // needs average 5 and detail 3
+  EXPECT_NEAR(MaxAbsError(data, tight.synopsis), 0.0, 1e-9);
+  const MhsResult loose = MinHaarSpace(data, {3.0, 1.0});
+  ASSERT_TRUE(loose.feasible);
+  EXPECT_EQ(loose.count, 1);  // v=5 within 3 of both
+  const MhsResult free = MinHaarSpace(data, {8.0, 1.0});
+  ASSERT_TRUE(free.feasible);
+  EXPECT_EQ(free.count, 0);
+}
+
+class MhsPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(MhsPropertyTest, BoundAndReportingHold) {
+  const int64_t n = int64_t{1} << std::get<0>(GetParam());
+  const double eps = std::get<1>(GetParam());
+  const auto data = testing::PiecewiseData(n, static_cast<uint64_t>(n), 60.0);
+  const MhsResult r = MinHaarSpace(data, {eps, 0.5});
+  ASSERT_TRUE(r.feasible);
+  EXPECT_LE(MaxAbsError(data, r.synopsis), eps + 1e-9);
+  EXPECT_NEAR(r.max_abs_error, MaxAbsError(data, r.synopsis), 1e-9);
+  EXPECT_EQ(r.count, r.synopsis.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MhsPropertyTest,
+    ::testing::Combine(::testing::Values(1, 2, 4, 6, 8, 10),
+                       ::testing::Values(1.0, 4.0, 15.0)));
+
+}  // namespace
+}  // namespace dwm

@@ -1,0 +1,241 @@
+#include "mr/job.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mr/bytes.h"
+#include "mr/cluster.h"
+#include "mr/counters.h"
+
+namespace dwm::mr {
+namespace {
+
+TEST(BytesTest, ScalarRoundtrip) {
+  ByteBuffer buf;
+  Serde<int32_t>::Put(buf, -7);
+  Serde<int64_t>::Put(buf, int64_t{1} << 40);
+  Serde<uint64_t>::Put(buf, ~uint64_t{0});
+  Serde<double>::Put(buf, 3.25);
+  ByteReader r(buf);
+  EXPECT_EQ(Serde<int32_t>::Get(r), -7);
+  EXPECT_EQ(Serde<int64_t>::Get(r), int64_t{1} << 40);
+  EXPECT_EQ(Serde<uint64_t>::Get(r), ~uint64_t{0});
+  EXPECT_DOUBLE_EQ(Serde<double>::Get(r), 3.25);
+  EXPECT_TRUE(r.Done());
+}
+
+TEST(BytesTest, CompositeRoundtrip) {
+  ByteBuffer buf;
+  const std::pair<int64_t, std::string> p = {42, "hello"};
+  const std::vector<double> v = {1.0, -2.5, 0.0};
+  Serde<std::pair<int64_t, std::string>>::Put(buf, p);
+  Serde<std::vector<double>>::Put(buf, v);
+  ByteReader r(buf);
+  EXPECT_EQ((Serde<std::pair<int64_t, std::string>>::Get(r)), p);
+  EXPECT_EQ(Serde<std::vector<double>>::Get(r), v);
+  EXPECT_TRUE(r.Done());
+}
+
+TEST(BytesTest, SizesAreExact) {
+  ByteBuffer buf;
+  Serde<int32_t>::Put(buf, 1);
+  EXPECT_EQ(buf.size(), 4u);
+  Serde<double>::Put(buf, 1.0);
+  EXPECT_EQ(buf.size(), 12u);
+}
+
+TEST(ClusterTest, MakespanSingleSlotIsSum) {
+  EXPECT_DOUBLE_EQ(ScheduleMakespan({1.0, 2.0, 3.0}, 1), 6.0);
+}
+
+TEST(ClusterTest, MakespanManySlots) {
+  EXPECT_DOUBLE_EQ(ScheduleMakespan({1.0, 2.0, 3.0}, 3), 3.0);
+  EXPECT_DOUBLE_EQ(ScheduleMakespan({1.0, 2.0, 3.0}, 10), 3.0);
+}
+
+TEST(ClusterTest, MakespanWaves) {
+  // Four unit tasks on two slots -> two waves.
+  EXPECT_DOUBLE_EQ(ScheduleMakespan({1, 1, 1, 1}, 2), 2.0);
+  // FIFO: long task first packs better.
+  EXPECT_DOUBLE_EQ(ScheduleMakespan({3, 1, 1, 1}, 2), 3.0);
+}
+
+TEST(ClusterTest, EmptyTasks) { EXPECT_DOUBLE_EQ(ScheduleMakespan({}, 4), 0.0); }
+
+TEST(ClusterTest, HalvingSlotsRoughlyDoublesTime) {
+  std::vector<double> tasks(40, 1.0);
+  const double t40 = ScheduleMakespan(tasks, 40);
+  const double t20 = ScheduleMakespan(tasks, 20);
+  const double t10 = ScheduleMakespan(tasks, 10);
+  EXPECT_DOUBLE_EQ(t20, 2.0 * t40);
+  EXPECT_DOUBLE_EQ(t10, 2.0 * t20);
+}
+
+TEST(ClusterTest, RescheduleReportChangesOnlyMakespans) {
+  JobStats job;
+  job.name = "j";
+  job.map_task_seconds = {1.0, 1.0, 1.0, 1.0};
+  job.reduce_task_seconds = {2.0};
+  job.shuffle_bytes = 100;
+  job.map_makespan_seconds = ScheduleMakespan(job.map_task_seconds, 4);
+  job.reduce_makespan_seconds = ScheduleMakespan(job.reduce_task_seconds, 1);
+  SimReport report;
+  report.jobs.push_back(job);
+  report.driver_seconds = 3.0;
+
+  ClusterConfig halved;
+  halved.map_slots = 2;
+  halved.reduce_slots = 1;
+  const SimReport re = RescheduleReport(report, halved);
+  EXPECT_DOUBLE_EQ(re.jobs[0].map_makespan_seconds, 2.0);  // two waves
+  EXPECT_DOUBLE_EQ(re.jobs[0].reduce_makespan_seconds, 2.0);
+  EXPECT_EQ(re.jobs[0].shuffle_bytes, 100);
+  EXPECT_DOUBLE_EQ(re.driver_seconds, 3.0);
+}
+
+TEST(CountersTest, AddAndMerge) {
+  Counters a;
+  a.Add("x", 2);
+  a.Add("x", 3);
+  Counters b;
+  b.Add("x", 1);
+  b.Add("y", 7);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.Get("x"), 6);
+  EXPECT_EQ(a.Get("y"), 7);
+  EXPECT_EQ(a.Get("z"), 0);
+}
+
+TEST(JobTest, WordCount) {
+  // Classic smoke test: splits of words, count occurrences.
+  using Split = std::vector<std::string>;
+  const std::vector<Split> splits = {
+      {"a", "b", "a"}, {"b", "c"}, {"a", "c", "c", "c"}};
+  JobSpec<Split, std::string, int64_t, std::pair<std::string, int64_t>> spec;
+  spec.name = "wordcount";
+  spec.num_reducers = 2;
+  spec.map = [](int64_t, const Split& split, const auto& emit) {
+    for (const std::string& w : split) emit(w, 1);
+  };
+  spec.reduce = [](const std::string& key, std::vector<int64_t>& values,
+                   std::vector<std::pair<std::string, int64_t>>* out) {
+    int64_t total = 0;
+    for (int64_t v : values) total += v;
+    out->push_back({key, total});
+  };
+  JobStats stats;
+  const auto out = RunJob(spec, splits, ClusterConfig{}, &stats);
+  std::map<std::string, int64_t> counts(out.begin(), out.end());
+  EXPECT_EQ(counts["a"], 3);
+  EXPECT_EQ(counts["b"], 2);
+  EXPECT_EQ(counts["c"], 4);
+  EXPECT_EQ(stats.map_tasks, 3);
+  EXPECT_EQ(stats.reduce_tasks, 2);
+  EXPECT_EQ(stats.shuffle_records, 9);
+  EXPECT_GT(stats.shuffle_bytes, 0);
+  EXPECT_EQ(stats.output_records, 3);
+  EXPECT_GT(stats.sim_seconds(), 0.0);
+}
+
+TEST(JobTest, ReducerSeesKeysSorted) {
+  using Split = std::vector<int64_t>;
+  const std::vector<Split> splits = {{5, 1, 9}, {3, 7}};
+  JobSpec<Split, int64_t, int64_t, int64_t> spec;
+  spec.name = "sorted";
+  spec.num_reducers = 1;
+  spec.map = [](int64_t, const Split& split, const auto& emit) {
+    for (int64_t v : split) emit(v, v);
+  };
+  spec.reduce = [](const int64_t& key, std::vector<int64_t>&,
+                   std::vector<int64_t>* out) { out->push_back(key); };
+  JobStats stats;
+  const auto out = RunJob(spec, splits, ClusterConfig{}, &stats);
+  EXPECT_EQ(out, (std::vector<int64_t>{1, 3, 5, 7, 9}));
+}
+
+TEST(JobTest, CustomPartitionRoutesKeys) {
+  using Split = int64_t;
+  const std::vector<Split> splits = {0};
+  JobSpec<Split, int64_t, int64_t, std::pair<int64_t, int64_t>> spec;
+  spec.name = "partition";
+  spec.num_reducers = 3;
+  spec.map = [](int64_t, const Split&, const auto& emit) {
+    for (int64_t k = 0; k < 9; ++k) emit(k, k);
+  };
+  // Reducer r gets keys with k % 3 == r; tag outputs with the reducer order.
+  spec.partition = [](const int64_t& k) { return static_cast<int>(k % 3); };
+  spec.reduce = [](const int64_t& key, std::vector<int64_t>&,
+                   std::vector<std::pair<int64_t, int64_t>>* out) {
+    out->push_back({key % 3, key});
+  };
+  JobStats stats;
+  const auto out = RunJob(spec, splits, ClusterConfig{}, &stats);
+  // Outputs arrive reducer by reducer: all %3==0 keys first, then 1, then 2.
+  ASSERT_EQ(out.size(), 9u);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].first, static_cast<int64_t>(i / 3));
+  }
+}
+
+TEST(JobTest, ValuesGroupedPerKeyInArrivalOrder) {
+  using Split = std::pair<int64_t, int64_t>;  // (key, value)
+  const std::vector<Split> splits = {{1, 10}, {1, 20}, {2, 5}, {1, 30}};
+  JobSpec<Split, int64_t, int64_t, std::pair<int64_t, std::vector<int64_t>>>
+      spec;
+  spec.name = "group";
+  spec.num_reducers = 1;
+  spec.map = [](int64_t, const Split& s, const auto& emit) {
+    emit(s.first, s.second);
+  };
+  spec.reduce = [](const int64_t& key, std::vector<int64_t>& values,
+                   std::vector<std::pair<int64_t, std::vector<int64_t>>>* out) {
+    out->push_back({key, values});
+  };
+  JobStats stats;
+  const auto out = RunJob(spec, splits, ClusterConfig{}, &stats);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].first, 1);
+  EXPECT_EQ(out[0].second, (std::vector<int64_t>{10, 20, 30}));
+  EXPECT_EQ(out[1].first, 2);
+  EXPECT_EQ(out[1].second, (std::vector<int64_t>{5}));
+}
+
+TEST(JobTest, SplitBytesFeedStorageCost) {
+  using Split = int64_t;
+  JobSpec<Split, int64_t, int64_t, int64_t> spec;
+  spec.name = "io";
+  spec.num_reducers = 1;
+  spec.map = [](int64_t, const Split&, const auto&) {};
+  spec.reduce = [](const int64_t&, std::vector<int64_t>&,
+                   std::vector<int64_t>*) {};
+  spec.split_bytes = [](const Split&) { return 400.0e6; };  // 1s at default bw
+  ClusterConfig config;
+  config.task_startup_seconds = 0.0;
+  config.job_overhead_seconds = 0.0;
+  JobStats stats;
+  RunJob(spec, std::vector<Split>{0, 1}, config, &stats);
+  EXPECT_EQ(stats.input_bytes, 800000000);
+  // Two 1-second scans on 40 slots -> makespan ~1s.
+  EXPECT_NEAR(stats.map_makespan_seconds, 1.0, 0.2);
+}
+
+TEST(JobTest, CountersMerged) {
+  using Split = int64_t;
+  JobSpec<Split, int64_t, int64_t, int64_t> spec;
+  spec.name = "c";
+  spec.num_reducers = 1;
+  spec.map = [](int64_t, const Split&, const auto& emit) { emit(1, 1); };
+  spec.reduce = [](const int64_t&, std::vector<int64_t>&,
+                   std::vector<int64_t>*) {};
+  JobStats stats;
+  Counters counters;
+  RunJob(spec, std::vector<Split>{0, 1, 2}, ClusterConfig{}, &stats, &counters);
+  EXPECT_EQ(counters.Get("c.shuffle_records"), 3);
+  EXPECT_EQ(counters.Get("c.map_tasks"), 3);
+}
+
+}  // namespace
+}  // namespace dwm::mr

@@ -1,0 +1,40 @@
+// Shared helpers for the test suite.
+#ifndef DWMAXERR_TESTS_TEST_UTIL_H_
+#define DWMAXERR_TESTS_TEST_UTIL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dwm::testing {
+
+// Random data in [0, scale) with occasional spikes, good at exposing
+// max-error behavior.
+inline std::vector<double> RandomData(int64_t n, uint64_t seed,
+                                      double scale = 100.0) {
+  Rng rng(seed);
+  std::vector<double> data(static_cast<size_t>(n));
+  for (auto& v : data) {
+    v = rng.NextDouble() * scale;
+    if (rng.NextDouble() < 0.05) v *= 10.0;  // spike
+  }
+  return data;
+}
+
+// Piecewise-constant data (wavelet-friendly, many zero coefficients).
+inline std::vector<double> PiecewiseData(int64_t n, uint64_t seed,
+                                         double scale = 100.0) {
+  Rng rng(seed);
+  std::vector<double> data(static_cast<size_t>(n));
+  double level = rng.NextDouble() * scale;
+  for (auto& v : data) {
+    if (rng.NextDouble() < 0.1) level = rng.NextDouble() * scale;
+    v = level;
+  }
+  return data;
+}
+
+}  // namespace dwm::testing
+
+#endif  // DWMAXERR_TESTS_TEST_UTIL_H_

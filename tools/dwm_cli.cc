@@ -1,0 +1,251 @@
+// dwm_cli: command-line front end for building, inspecting and querying
+// max-error wavelet synopses.
+//
+//   dwm_cli gen   --dataset uniform|zipf07|zipf15|nyct|wd --n N
+//                 [--max M] [--seed S] --output data.bin
+//   dwm_cli build --input data.bin --algo greedy-abs|greedy-rel|conventional|
+//                 indirect-haar|minmaxvar --budget B [--sanity S]
+//                 [--quantum Q] --output synopsis.dwm
+//   dwm_cli info  --synopsis synopsis.dwm
+//   dwm_cli point --synopsis synopsis.dwm --index I
+//   dwm_cli sum   --synopsis synopsis.dwm --from A --to B
+//   dwm_cli eval  --synopsis synopsis.dwm --input data.bin [--sanity S]
+//
+// Inputs whose size is not a power of two are padded by repeating the last
+// value (see PadToPowerOfTwo).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/conventional.h"
+#include "core/greedy_abs.h"
+#include "core/greedy_rel.h"
+#include "core/indirect_haar.h"
+#include "core/min_max_var.h"
+#include "data/generators.h"
+#include "data/io.h"
+#include "wavelet/haar.h"
+#include "wavelet/metrics.h"
+
+namespace {
+
+using Flags = std::map<std::string, std::string>;
+
+Flags ParseFlags(int argc, char** argv, int first) {
+  Flags flags;
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0 || i + 1 >= argc) {
+      std::fprintf(stderr, "bad argument: %s\n", arg.c_str());
+      std::exit(2);
+    }
+    flags[arg.substr(2)] = argv[++i];
+  }
+  return flags;
+}
+
+std::string Require(const Flags& flags, const std::string& name) {
+  const auto it = flags.find(name);
+  if (it == flags.end()) {
+    std::fprintf(stderr, "missing required flag --%s\n", name.c_str());
+    std::exit(2);
+  }
+  return it->second;
+}
+
+std::string Optional(const Flags& flags, const std::string& name,
+                     const std::string& fallback) {
+  const auto it = flags.find(name);
+  return it == flags.end() ? fallback : it->second;
+}
+
+std::vector<double> LoadData(const std::string& path) {
+  std::vector<double> data;
+  dwm::Status status = path.size() > 4 && path.substr(path.size() - 4) == ".csv"
+                           ? dwm::ReadDoublesCsv(path, &data)
+                           : dwm::ReadDoublesBinary(path, &data);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+  if (data.empty()) {
+    std::fprintf(stderr, "empty input: %s\n", path.c_str());
+    std::exit(1);
+  }
+  return data;
+}
+
+dwm::Synopsis LoadSynopsis(const std::string& path) {
+  dwm::Synopsis synopsis;
+  const dwm::Status status = dwm::ReadSynopsis(path, &synopsis);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+  return synopsis;
+}
+
+int CmdGen(const Flags& flags) {
+  const std::string dataset = Require(flags, "dataset");
+  const int64_t n = std::atoll(Require(flags, "n").c_str());
+  const uint64_t seed =
+      static_cast<uint64_t>(std::atoll(Optional(flags, "seed", "1").c_str()));
+  const double max_value = std::atof(Optional(flags, "max", "1000").c_str());
+  std::vector<double> data;
+  if (dataset == "uniform") {
+    data = dwm::MakeUniform(n, max_value, seed);
+  } else if (dataset == "zipf07") {
+    data = dwm::MakeZipf(n, 0.7, static_cast<int64_t>(max_value), seed);
+  } else if (dataset == "zipf15") {
+    data = dwm::MakeZipf(n, 1.5, static_cast<int64_t>(max_value), seed);
+  } else if (dataset == "nyct") {
+    data = dwm::MakeNyctLike(n, seed);
+  } else if (dataset == "wd") {
+    data = dwm::MakeWdLike(n, seed);
+  } else {
+    std::fprintf(stderr, "unknown dataset: %s\n", dataset.c_str());
+    return 2;
+  }
+  const dwm::Status status =
+      dwm::WriteDoublesBinary(Require(flags, "output"), data);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  const dwm::DataStats stats = dwm::ComputeStats(data);
+  std::printf("wrote %lld values (avg %.2f stdev %.2f max %.2f)\n",
+              static_cast<long long>(data.size()), stats.avg, stats.stdev,
+              stats.max);
+  return 0;
+}
+
+int CmdBuild(const Flags& flags) {
+  std::vector<double> data = LoadData(Require(flags, "input"));
+  const int64_t original = dwm::PadToPowerOfTwo(&data);
+  const std::string algo = Require(flags, "algo");
+  const int64_t budget = std::atoll(Require(flags, "budget").c_str());
+  const double sanity = std::atof(Optional(flags, "sanity", "1").c_str());
+  const double quantum = std::atof(Optional(flags, "quantum", "1").c_str());
+
+  dwm::Synopsis synopsis;
+  if (algo == "greedy-abs") {
+    synopsis = dwm::GreedyAbs(data, budget).synopsis;
+  } else if (algo == "greedy-rel") {
+    synopsis = dwm::GreedyRel(data, budget, sanity).synopsis;
+  } else if (algo == "conventional") {
+    synopsis = dwm::ConventionalSynopsis(data, budget);
+  } else if (algo == "indirect-haar") {
+    const dwm::IndirectHaarResult r =
+        dwm::IndirectHaar(data, {budget, quantum, 60});
+    if (!r.converged) {
+      std::fprintf(stderr,
+                   "indirect-haar did not converge (quantum too coarse?)\n");
+      return 1;
+    }
+    synopsis = r.synopsis;
+  } else if (algo == "minmaxvar") {
+    synopsis = dwm::MinMaxVar(data, {budget, 4, 1}).synopsis;
+  } else {
+    std::fprintf(stderr, "unknown algorithm: %s\n", algo.c_str());
+    return 2;
+  }
+  const dwm::Status status =
+      dwm::WriteSynopsis(Require(flags, "output"), synopsis);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "%s synopsis: %lld coefficients over %lld values (%lld original), "
+      "max_abs %.4f\n",
+      algo.c_str(), static_cast<long long>(synopsis.size()),
+      static_cast<long long>(synopsis.domain_size()),
+      static_cast<long long>(original), dwm::MaxAbsError(data, synopsis));
+  return 0;
+}
+
+int CmdInfo(const Flags& flags) {
+  const dwm::Synopsis synopsis = LoadSynopsis(Require(flags, "synopsis"));
+  std::printf("domain size : %lld\n",
+              static_cast<long long>(synopsis.domain_size()));
+  std::printf("coefficients: %lld\n", static_cast<long long>(synopsis.size()));
+  std::printf("compression : %.1fx\n",
+              static_cast<double>(synopsis.domain_size()) /
+                  std::max<int64_t>(synopsis.size(), 1));
+  const auto& cs = synopsis.coefficients();
+  for (int64_t i = 0; i < std::min<int64_t>(8, synopsis.size()); ++i) {
+    std::printf("  c[%lld] = %.6g\n",
+                static_cast<long long>(cs[static_cast<size_t>(i)].index),
+                cs[static_cast<size_t>(i)].value);
+  }
+  return 0;
+}
+
+int CmdPoint(const Flags& flags) {
+  const dwm::Synopsis synopsis = LoadSynopsis(Require(flags, "synopsis"));
+  const int64_t index = std::atoll(Require(flags, "index").c_str());
+  if (index < 0 || index >= synopsis.domain_size()) {
+    std::fprintf(stderr, "index out of range\n");
+    return 2;
+  }
+  std::printf("%.10g\n", synopsis.PointEstimate(index));
+  return 0;
+}
+
+int CmdSum(const Flags& flags) {
+  const dwm::Synopsis synopsis = LoadSynopsis(Require(flags, "synopsis"));
+  const int64_t from = std::atoll(Require(flags, "from").c_str());
+  const int64_t to = std::atoll(Require(flags, "to").c_str());
+  if (from < 0 || to < from || to >= synopsis.domain_size()) {
+    std::fprintf(stderr, "bad range\n");
+    return 2;
+  }
+  std::printf("%.10g\n", synopsis.RangeSum(from, to));
+  return 0;
+}
+
+int CmdEval(const Flags& flags) {
+  const dwm::Synopsis synopsis = LoadSynopsis(Require(flags, "synopsis"));
+  std::vector<double> data = LoadData(Require(flags, "input"));
+  dwm::PadToPowerOfTwo(&data);
+  if (static_cast<int64_t>(data.size()) != synopsis.domain_size()) {
+    std::fprintf(stderr, "synopsis domain (%lld) != padded input size (%lld)\n",
+                 static_cast<long long>(synopsis.domain_size()),
+                 static_cast<long long>(data.size()));
+    return 2;
+  }
+  const double sanity = std::atof(Optional(flags, "sanity", "1").c_str());
+  std::printf("max_abs: %.6f\n", dwm::MaxAbsError(data, synopsis));
+  std::printf("max_rel: %.6f (sanity %.3f)\n",
+              dwm::MaxRelError(data, synopsis, sanity), sanity);
+  std::printf("l2     : %.6f\n", dwm::L2Error(data, synopsis));
+  return 0;
+}
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: dwm_cli <gen|build|info|point|sum|eval> --flag value "
+               "...\n(see the header of tools/dwm_cli.cc)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  const Flags flags = ParseFlags(argc, argv, 2);
+  if (command == "gen") return CmdGen(flags);
+  if (command == "build") return CmdBuild(flags);
+  if (command == "info") return CmdInfo(flags);
+  if (command == "point") return CmdPoint(flags);
+  if (command == "sum") return CmdSum(flags);
+  if (command == "eval") return CmdEval(flags);
+  Usage();
+  return 2;
+}
