@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dp_rows.dir/bench_ablation_dp_rows.cpp.o"
+  "CMakeFiles/bench_ablation_dp_rows.dir/bench_ablation_dp_rows.cpp.o.d"
+  "bench_ablation_dp_rows"
+  "bench_ablation_dp_rows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dp_rows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_eb.dir/bench_ablation_eb.cpp.o"
+  "CMakeFiles/bench_ablation_eb.dir/bench_ablation_eb.cpp.o.d"
+  "bench_ablation_eb"
+  "bench_ablation_eb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_eb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_partition.dir/bench_ablation_partition.cpp.o"
+  "CMakeFiles/bench_ablation_partition.dir/bench_ablation_partition.cpp.o.d"
+  "bench_ablation_partition"
+  "bench_ablation_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_conventional.dir/bench_fig10_conventional.cpp.o"
+  "CMakeFiles/bench_fig10_conventional.dir/bench_fig10_conventional.cpp.o.d"
+  "bench_fig10_conventional"
+  "bench_fig10_conventional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_conventional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

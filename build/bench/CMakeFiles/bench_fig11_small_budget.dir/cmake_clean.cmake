@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_small_budget.dir/bench_fig11_small_budget.cpp.o"
+  "CMakeFiles/bench_fig11_small_budget.dir/bench_fig11_small_budget.cpp.o.d"
+  "bench_fig11_small_budget"
+  "bench_fig11_small_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_small_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5b_budget.dir/bench_fig5b_budget.cpp.o"
+  "CMakeFiles/bench_fig5b_budget.dir/bench_fig5b_budget.cpp.o.d"
+  "bench_fig5b_budget"
+  "bench_fig5b_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5b_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig5d_dindirecthaar_scaling.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_delta_distributions.dir/bench_fig6_delta_distributions.cpp.o"
+  "CMakeFiles/bench_fig6_delta_distributions.dir/bench_fig6_delta_distributions.cpp.o.d"
+  "bench_fig6_delta_distributions"
+  "bench_fig6_delta_distributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_delta_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

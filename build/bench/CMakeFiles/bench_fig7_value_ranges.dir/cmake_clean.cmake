@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_value_ranges.dir/bench_fig7_value_ranges.cpp.o"
+  "CMakeFiles/bench_fig7_value_ranges.dir/bench_fig7_value_ranges.cpp.o.d"
+  "bench_fig7_value_ranges"
+  "bench_fig7_value_ranges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_value_ranges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_value_ranges.
+# This may be replaced when dependencies are built.

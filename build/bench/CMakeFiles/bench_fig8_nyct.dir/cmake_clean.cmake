@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_nyct.dir/bench_fig8_nyct.cpp.o"
+  "CMakeFiles/bench_fig8_nyct.dir/bench_fig8_nyct.cpp.o.d"
+  "bench_fig8_nyct"
+  "bench_fig8_nyct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_nyct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_wd.dir/bench_fig9_wd.cpp.o"
+  "CMakeFiles/bench_fig9_wd.dir/bench_fig9_wd.cpp.o.d"
+  "bench_fig9_wd"
+  "bench_fig9_wd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_wd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

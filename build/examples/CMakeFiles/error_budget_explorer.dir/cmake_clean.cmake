@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/error_budget_explorer.dir/error_budget_explorer.cpp.o"
+  "CMakeFiles/error_budget_explorer.dir/error_budget_explorer.cpp.o.d"
+  "error_budget_explorer"
+  "error_budget_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/error_budget_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

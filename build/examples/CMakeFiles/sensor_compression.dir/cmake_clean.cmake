@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_compression.dir/sensor_compression.cpp.o"
+  "CMakeFiles/sensor_compression.dir/sensor_compression.cpp.o.d"
+  "sensor_compression"
+  "sensor_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taxi_aqp.dir/taxi_aqp.cpp.o"
+  "CMakeFiles/taxi_aqp.dir/taxi_aqp.cpp.o.d"
+  "taxi_aqp"
+  "taxi_aqp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taxi_aqp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

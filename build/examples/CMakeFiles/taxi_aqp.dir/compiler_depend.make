@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for taxi_aqp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for taxi_aqp.
+# This may be replaced when dependencies are built.

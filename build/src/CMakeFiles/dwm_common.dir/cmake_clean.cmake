@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwm_common.dir/common/common.cc.o"
+  "CMakeFiles/dwm_common.dir/common/common.cc.o.d"
+  "libdwm_common.a"
+  "libdwm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/conventional.cc" "src/CMakeFiles/dwm_core.dir/core/conventional.cc.o" "gcc" "src/CMakeFiles/dwm_core.dir/core/conventional.cc.o.d"
+  "/root/repo/src/core/envelope.cc" "src/CMakeFiles/dwm_core.dir/core/envelope.cc.o" "gcc" "src/CMakeFiles/dwm_core.dir/core/envelope.cc.o.d"
+  "/root/repo/src/core/exact_small.cc" "src/CMakeFiles/dwm_core.dir/core/exact_small.cc.o" "gcc" "src/CMakeFiles/dwm_core.dir/core/exact_small.cc.o.d"
+  "/root/repo/src/core/greedy_abs.cc" "src/CMakeFiles/dwm_core.dir/core/greedy_abs.cc.o" "gcc" "src/CMakeFiles/dwm_core.dir/core/greedy_abs.cc.o.d"
+  "/root/repo/src/core/greedy_rel.cc" "src/CMakeFiles/dwm_core.dir/core/greedy_rel.cc.o" "gcc" "src/CMakeFiles/dwm_core.dir/core/greedy_rel.cc.o.d"
+  "/root/repo/src/core/indirect_haar.cc" "src/CMakeFiles/dwm_core.dir/core/indirect_haar.cc.o" "gcc" "src/CMakeFiles/dwm_core.dir/core/indirect_haar.cc.o.d"
+  "/root/repo/src/core/min_haar_space.cc" "src/CMakeFiles/dwm_core.dir/core/min_haar_space.cc.o" "gcc" "src/CMakeFiles/dwm_core.dir/core/min_haar_space.cc.o.d"
+  "/root/repo/src/core/min_max_var.cc" "src/CMakeFiles/dwm_core.dir/core/min_max_var.cc.o" "gcc" "src/CMakeFiles/dwm_core.dir/core/min_max_var.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dwm_wavelet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dwm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwm_core.dir/core/conventional.cc.o"
+  "CMakeFiles/dwm_core.dir/core/conventional.cc.o.d"
+  "CMakeFiles/dwm_core.dir/core/envelope.cc.o"
+  "CMakeFiles/dwm_core.dir/core/envelope.cc.o.d"
+  "CMakeFiles/dwm_core.dir/core/exact_small.cc.o"
+  "CMakeFiles/dwm_core.dir/core/exact_small.cc.o.d"
+  "CMakeFiles/dwm_core.dir/core/greedy_abs.cc.o"
+  "CMakeFiles/dwm_core.dir/core/greedy_abs.cc.o.d"
+  "CMakeFiles/dwm_core.dir/core/greedy_rel.cc.o"
+  "CMakeFiles/dwm_core.dir/core/greedy_rel.cc.o.d"
+  "CMakeFiles/dwm_core.dir/core/indirect_haar.cc.o"
+  "CMakeFiles/dwm_core.dir/core/indirect_haar.cc.o.d"
+  "CMakeFiles/dwm_core.dir/core/min_haar_space.cc.o"
+  "CMakeFiles/dwm_core.dir/core/min_haar_space.cc.o.d"
+  "CMakeFiles/dwm_core.dir/core/min_max_var.cc.o"
+  "CMakeFiles/dwm_core.dir/core/min_max_var.cc.o.d"
+  "libdwm_core.a"
+  "libdwm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/generators.cc" "src/CMakeFiles/dwm_data.dir/data/generators.cc.o" "gcc" "src/CMakeFiles/dwm_data.dir/data/generators.cc.o.d"
+  "/root/repo/src/data/io.cc" "src/CMakeFiles/dwm_data.dir/data/io.cc.o" "gcc" "src/CMakeFiles/dwm_data.dir/data/io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dwm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dwm_wavelet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

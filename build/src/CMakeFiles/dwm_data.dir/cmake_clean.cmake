@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwm_data.dir/data/generators.cc.o"
+  "CMakeFiles/dwm_data.dir/data/generators.cc.o.d"
+  "CMakeFiles/dwm_data.dir/data/io.cc.o"
+  "CMakeFiles/dwm_data.dir/data/io.cc.o.d"
+  "libdwm_data.a"
+  "libdwm_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwm_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/dcon.cc" "src/CMakeFiles/dwm_dist.dir/dist/dcon.cc.o" "gcc" "src/CMakeFiles/dwm_dist.dir/dist/dcon.cc.o.d"
+  "/root/repo/src/dist/dgreedy.cc" "src/CMakeFiles/dwm_dist.dir/dist/dgreedy.cc.o" "gcc" "src/CMakeFiles/dwm_dist.dir/dist/dgreedy.cc.o.d"
+  "/root/repo/src/dist/dindirect_haar.cc" "src/CMakeFiles/dwm_dist.dir/dist/dindirect_haar.cc.o" "gcc" "src/CMakeFiles/dwm_dist.dir/dist/dindirect_haar.cc.o.d"
+  "/root/repo/src/dist/dmin_haar_space.cc" "src/CMakeFiles/dwm_dist.dir/dist/dmin_haar_space.cc.o" "gcc" "src/CMakeFiles/dwm_dist.dir/dist/dmin_haar_space.cc.o.d"
+  "/root/repo/src/dist/dmin_max_var.cc" "src/CMakeFiles/dwm_dist.dir/dist/dmin_max_var.cc.o" "gcc" "src/CMakeFiles/dwm_dist.dir/dist/dmin_max_var.cc.o.d"
+  "/root/repo/src/dist/hwtopk.cc" "src/CMakeFiles/dwm_dist.dir/dist/hwtopk.cc.o" "gcc" "src/CMakeFiles/dwm_dist.dir/dist/hwtopk.cc.o.d"
+  "/root/repo/src/dist/send_coef.cc" "src/CMakeFiles/dwm_dist.dir/dist/send_coef.cc.o" "gcc" "src/CMakeFiles/dwm_dist.dir/dist/send_coef.cc.o.d"
+  "/root/repo/src/dist/send_v.cc" "src/CMakeFiles/dwm_dist.dir/dist/send_v.cc.o" "gcc" "src/CMakeFiles/dwm_dist.dir/dist/send_v.cc.o.d"
+  "/root/repo/src/dist/tree_partition.cc" "src/CMakeFiles/dwm_dist.dir/dist/tree_partition.cc.o" "gcc" "src/CMakeFiles/dwm_dist.dir/dist/tree_partition.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dwm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dwm_mr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dwm_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dwm_wavelet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dwm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

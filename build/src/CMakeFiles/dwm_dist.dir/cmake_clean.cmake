@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwm_dist.dir/dist/dcon.cc.o"
+  "CMakeFiles/dwm_dist.dir/dist/dcon.cc.o.d"
+  "CMakeFiles/dwm_dist.dir/dist/dgreedy.cc.o"
+  "CMakeFiles/dwm_dist.dir/dist/dgreedy.cc.o.d"
+  "CMakeFiles/dwm_dist.dir/dist/dindirect_haar.cc.o"
+  "CMakeFiles/dwm_dist.dir/dist/dindirect_haar.cc.o.d"
+  "CMakeFiles/dwm_dist.dir/dist/dmin_haar_space.cc.o"
+  "CMakeFiles/dwm_dist.dir/dist/dmin_haar_space.cc.o.d"
+  "CMakeFiles/dwm_dist.dir/dist/dmin_max_var.cc.o"
+  "CMakeFiles/dwm_dist.dir/dist/dmin_max_var.cc.o.d"
+  "CMakeFiles/dwm_dist.dir/dist/hwtopk.cc.o"
+  "CMakeFiles/dwm_dist.dir/dist/hwtopk.cc.o.d"
+  "CMakeFiles/dwm_dist.dir/dist/send_coef.cc.o"
+  "CMakeFiles/dwm_dist.dir/dist/send_coef.cc.o.d"
+  "CMakeFiles/dwm_dist.dir/dist/send_v.cc.o"
+  "CMakeFiles/dwm_dist.dir/dist/send_v.cc.o.d"
+  "CMakeFiles/dwm_dist.dir/dist/tree_partition.cc.o"
+  "CMakeFiles/dwm_dist.dir/dist/tree_partition.cc.o.d"
+  "libdwm_dist.a"
+  "libdwm_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwm_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwm_mr.dir/mr/cluster.cc.o"
+  "CMakeFiles/dwm_mr.dir/mr/cluster.cc.o.d"
+  "CMakeFiles/dwm_mr.dir/mr/job.cc.o"
+  "CMakeFiles/dwm_mr.dir/mr/job.cc.o.d"
+  "libdwm_mr.a"
+  "libdwm_mr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwm_mr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwm_wavelet.dir/wavelet/haar.cc.o"
+  "CMakeFiles/dwm_wavelet.dir/wavelet/haar.cc.o.d"
+  "CMakeFiles/dwm_wavelet.dir/wavelet/metrics.cc.o"
+  "CMakeFiles/dwm_wavelet.dir/wavelet/metrics.cc.o.d"
+  "CMakeFiles/dwm_wavelet.dir/wavelet/synopsis.cc.o"
+  "CMakeFiles/dwm_wavelet.dir/wavelet/synopsis.cc.o.d"
+  "libdwm_wavelet.a"
+  "libdwm_wavelet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwm_wavelet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/conventional_dist_test.cc" "tests/CMakeFiles/conventional_dist_test.dir/conventional_dist_test.cc.o" "gcc" "tests/CMakeFiles/conventional_dist_test.dir/conventional_dist_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dwm_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dwm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dwm_mr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dwm_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dwm_wavelet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dwm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

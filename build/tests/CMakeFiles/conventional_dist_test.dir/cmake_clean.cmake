@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conventional_dist_test.dir/conventional_dist_test.cc.o"
+  "CMakeFiles/conventional_dist_test.dir/conventional_dist_test.cc.o.d"
+  "conventional_dist_test"
+  "conventional_dist_test.pdb"
+  "conventional_dist_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conventional_dist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conventional_test.dir/conventional_test.cc.o"
+  "CMakeFiles/conventional_test.dir/conventional_test.cc.o.d"
+  "conventional_test"
+  "conventional_test.pdb"
+  "conventional_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conventional_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgreedy_test.dir/dgreedy_test.cc.o"
+  "CMakeFiles/dgreedy_test.dir/dgreedy_test.cc.o.d"
+  "dgreedy_test"
+  "dgreedy_test.pdb"
+  "dgreedy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgreedy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

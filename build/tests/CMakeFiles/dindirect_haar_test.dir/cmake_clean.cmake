@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dindirect_haar_test.dir/dindirect_haar_test.cc.o"
+  "CMakeFiles/dindirect_haar_test.dir/dindirect_haar_test.cc.o.d"
+  "dindirect_haar_test"
+  "dindirect_haar_test.pdb"
+  "dindirect_haar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dindirect_haar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmin_haar_space_test.dir/dmin_haar_space_test.cc.o"
+  "CMakeFiles/dmin_haar_space_test.dir/dmin_haar_space_test.cc.o.d"
+  "dmin_haar_space_test"
+  "dmin_haar_space_test.pdb"
+  "dmin_haar_space_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmin_haar_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmin_max_var_test.dir/dmin_max_var_test.cc.o"
+  "CMakeFiles/dmin_max_var_test.dir/dmin_max_var_test.cc.o.d"
+  "dmin_max_var_test"
+  "dmin_max_var_test.pdb"
+  "dmin_max_var_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmin_max_var_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

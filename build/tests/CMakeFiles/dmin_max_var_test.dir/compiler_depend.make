@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dmin_max_var_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/envelope_test.dir/envelope_test.cc.o"
+  "CMakeFiles/envelope_test.dir/envelope_test.cc.o.d"
+  "envelope_test"
+  "envelope_test.pdb"
+  "envelope_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/envelope_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

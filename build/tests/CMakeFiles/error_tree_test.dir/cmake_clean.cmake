@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/error_tree_test.dir/error_tree_test.cc.o"
+  "CMakeFiles/error_tree_test.dir/error_tree_test.cc.o.d"
+  "error_tree_test"
+  "error_tree_test.pdb"
+  "error_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/error_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

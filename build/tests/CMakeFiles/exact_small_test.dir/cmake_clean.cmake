@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_small_test.dir/exact_small_test.cc.o"
+  "CMakeFiles/exact_small_test.dir/exact_small_test.cc.o.d"
+  "exact_small_test"
+  "exact_small_test.pdb"
+  "exact_small_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_small_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greedy_abs_test.dir/greedy_abs_test.cc.o"
+  "CMakeFiles/greedy_abs_test.dir/greedy_abs_test.cc.o.d"
+  "greedy_abs_test"
+  "greedy_abs_test.pdb"
+  "greedy_abs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greedy_abs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greedy_rel_test.dir/greedy_rel_test.cc.o"
+  "CMakeFiles/greedy_rel_test.dir/greedy_rel_test.cc.o.d"
+  "greedy_rel_test"
+  "greedy_rel_test.pdb"
+  "greedy_rel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greedy_rel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/haar_test.dir/haar_test.cc.o"
+  "CMakeFiles/haar_test.dir/haar_test.cc.o.d"
+  "haar_test"
+  "haar_test.pdb"
+  "haar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/haar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indirect_haar_test.dir/indirect_haar_test.cc.o"
+  "CMakeFiles/indirect_haar_test.dir/indirect_haar_test.cc.o.d"
+  "indirect_haar_test"
+  "indirect_haar_test.pdb"
+  "indirect_haar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indirect_haar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/min_haar_space_test.dir/min_haar_space_test.cc.o"
+  "CMakeFiles/min_haar_space_test.dir/min_haar_space_test.cc.o.d"
+  "min_haar_space_test"
+  "min_haar_space_test.pdb"
+  "min_haar_space_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/min_haar_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/min_max_var_test.dir/min_max_var_test.cc.o"
+  "CMakeFiles/min_max_var_test.dir/min_max_var_test.cc.o.d"
+  "min_max_var_test"
+  "min_max_var_test.pdb"
+  "min_max_var_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/min_max_var_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

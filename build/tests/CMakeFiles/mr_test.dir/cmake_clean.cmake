@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mr_test.dir/mr_test.cc.o"
+  "CMakeFiles/mr_test.dir/mr_test.cc.o.d"
+  "mr_test"
+  "mr_test.pdb"
+  "mr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

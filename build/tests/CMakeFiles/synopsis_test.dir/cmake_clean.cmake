@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synopsis_test.dir/synopsis_test.cc.o"
+  "CMakeFiles/synopsis_test.dir/synopsis_test.cc.o.d"
+  "synopsis_test"
+  "synopsis_test.pdb"
+  "synopsis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synopsis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

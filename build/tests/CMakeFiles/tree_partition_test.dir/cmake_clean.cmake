@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_partition_test.dir/tree_partition_test.cc.o"
+  "CMakeFiles/tree_partition_test.dir/tree_partition_test.cc.o.d"
+  "tree_partition_test"
+  "tree_partition_test.pdb"
+  "tree_partition_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_partition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/error_tree_test[1]_include.cmake")
+include("/root/repo/build/tests/haar_test[1]_include.cmake")
+include("/root/repo/build/tests/synopsis_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/generators_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/conventional_test[1]_include.cmake")
+include("/root/repo/build/tests/exact_small_test[1]_include.cmake")
+include("/root/repo/build/tests/greedy_abs_test[1]_include.cmake")
+include("/root/repo/build/tests/envelope_test[1]_include.cmake")
+include("/root/repo/build/tests/greedy_rel_test[1]_include.cmake")
+include("/root/repo/build/tests/min_haar_space_test[1]_include.cmake")
+include("/root/repo/build/tests/min_max_var_test[1]_include.cmake")
+include("/root/repo/build/tests/indirect_haar_test[1]_include.cmake")
+include("/root/repo/build/tests/mr_test[1]_include.cmake")
+include("/root/repo/build/tests/tree_partition_test[1]_include.cmake")
+include("/root/repo/build/tests/conventional_dist_test[1]_include.cmake")
+include("/root/repo/build/tests/dmin_haar_space_test[1]_include.cmake")
+include("/root/repo/build/tests/dindirect_haar_test[1]_include.cmake")
+include("/root/repo/build/tests/dgreedy_test[1]_include.cmake")
+include("/root/repo/build/tests/dmin_max_var_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_cases_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwm_cli.dir/dwm_cli.cc.o"
+  "CMakeFiles/dwm_cli.dir/dwm_cli.cc.o.d"
+  "dwm_cli"
+  "dwm_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
