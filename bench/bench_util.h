@@ -19,7 +19,7 @@ namespace dwm::bench {
 
 inline int ScaleShift() {
   const char* env = std::getenv("DWM_SCALE");
-  return env == nullptr ? 0 : std::atoi(env);
+  return env == nullptr ? 0 : static_cast<int>(std::strtol(env, nullptr, 10));
 }
 
 inline int64_t ScaledN(int log2_default) {

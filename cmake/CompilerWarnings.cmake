@@ -1,0 +1,23 @@
+# Hardened warning set for all dwmaxerr targets. The tree builds clean under
+# these; DWM_WERROR (on in CI) turns any regression into a build failure.
+
+option(DWM_WERROR "Treat compiler warnings as errors" OFF)
+
+function(dwm_enable_warnings)
+  add_compile_options(
+    -Wall
+    -Wextra
+    -Wshadow
+    -Wconversion
+    -Wsign-conversion
+    -Wdouble-promotion
+    -Wold-style-cast
+    -Wnon-virtual-dtor
+    -Woverloaded-virtual
+    -Wcast-qual
+    -Wundef
+  )
+  if(DWM_WERROR)
+    add_compile_options(-Werror)
+  endif()
+endfunction()

@@ -40,7 +40,7 @@ int main() {
               static_cast<long long>(result.best_croot_size));
   std::printf("MapReduce jobs          : %lld, shuffled %.2f MB\n",
               static_cast<long long>(result.report.total_jobs()),
-              result.report.total_shuffle_bytes() / 1.0e6);
+              static_cast<double>(result.report.total_shuffle_bytes()) / 1.0e6);
   std::printf("simulated cluster time  : %.1f s\n",
               result.report.total_sim_seconds());
   std::printf("max_abs guarantee       : %.1f s of trip time\n", max_abs);

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/audit.h"
 #include "common/check.h"
 #include "common/stopwatch.h"
 #include "dist/tree_partition.h"
@@ -67,6 +68,9 @@ DistSynopsisResult RunCon(const std::vector<double>& data, int64_t budget,
     top.Offer(i, root_coeffs[static_cast<size_t>(i)]);
   }
   result.synopsis = Synopsis(n, top.Take());
+  if constexpr (audit::kEnabled) {
+    DWM_AUDIT_CHECK(result.synopsis.size() <= budget);
+  }
   stats.reduce_makespan_seconds +=
       finalize.ElapsedSeconds() * cluster.compute_scale;
   result.report.jobs.push_back(stats);

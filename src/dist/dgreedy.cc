@@ -7,46 +7,18 @@
 #include <queue>
 #include <utility>
 
+#include "common/audit.h"
 #include "common/bits.h"
 #include "common/check.h"
 #include "common/stopwatch.h"
 #include "core/greedy_abs.h"
 #include "core/greedy_rel.h"
+#include "dist/serde.h"
 #include "dist/tree_partition.h"
 #include "mr/job.h"
 #include "wavelet/error_tree.h"
 #include "wavelet/haar.h"
-
-namespace dwm {
-namespace dgreedy_internal {
-
-// One achievable stopping point of a base sub-tree's greedy run: keeping
-// the last `kept` discarded nodes yields (bucketed) max error `error`.
-struct FrontierPoint {
-  double error = 0.0;
-  int64_t kept = 0;
-};
-
-}  // namespace dgreedy_internal
-}  // namespace dwm
-
-namespace dwm::mr {
-
-template <>
-struct Serde<dgreedy_internal::FrontierPoint> {
-  static void Put(ByteBuffer& b, const dgreedy_internal::FrontierPoint& p) {
-    b.PutScalar<double>(p.error);
-    b.PutScalar<int64_t>(p.kept);
-  }
-  static dgreedy_internal::FrontierPoint Get(ByteReader& r) {
-    dgreedy_internal::FrontierPoint p;
-    p.error = r.GetScalar<double>();
-    p.kept = r.GetScalar<int64_t>();
-    return p;
-  }
-};
-
-}  // namespace dwm::mr
+#include "wavelet/metrics.h"
 
 namespace dwm {
 namespace {
@@ -373,6 +345,16 @@ DGreedyResult RunDGreedy(const DGreedyContext& ctx,
     if (value != 0.0) kept.push_back({node, value});
   }
   out.synopsis = Synopsis(n, std::move(kept));
+  if constexpr (audit::kEnabled) {
+    // Synopsis post-conditions: the budget is an upper bound on the
+    // retained coefficients, and the histogram-stage estimate is a bucket
+    // floor of the true reconstruction error (estimated <= exact).
+    DWM_AUDIT_CHECK(out.synopsis.size() <= budget);
+    const double exact =
+        ctx.relative ? MaxRelError(data, out.synopsis, ctx.sanity)
+                     : MaxAbsError(data, out.synopsis);
+    DWM_AUDIT_CHECK(out.estimated_error <= exact + 1e-6);
+  }
   return out;
 }
 

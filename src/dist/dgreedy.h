@@ -19,6 +19,18 @@
 #include "wavelet/synopsis.h"
 
 namespace dwm {
+namespace dgreedy_internal {
+
+// One achievable stopping point of a base sub-tree's greedy run: keeping
+// the last `kept` discarded nodes yields (bucketed) max error `error`.
+// This is the level-1 shuffle record of the histogram job (Algorithm 3);
+// its Serde lives in dist/serde.h.
+struct FrontierPoint {
+  double error = 0.0;
+  int64_t kept = 0;
+};
+
+}  // namespace dgreedy_internal
 
 struct DGreedyOptions {
   int64_t budget = 0;

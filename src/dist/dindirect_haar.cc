@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/audit.h"
 #include "common/bits.h"
 #include "common/check.h"
 #include "dist/dcon.h"
@@ -10,9 +11,23 @@
 #include "dist/tree_partition.h"
 #include "mr/job.h"
 #include "wavelet/error_tree.h"
+#include "wavelet/metrics.h"
 
 namespace dwm {
 namespace {
+
+// Audit post-conditions for a finished binary search: a converged run must
+// fit the budget and report exactly the reconstruction error of the
+// synopsis it returns (Problem 1's objective).
+void AuditSearchResult(const std::vector<double>& data, int64_t budget,
+                       const IndirectHaarResult& search) {
+  if constexpr (audit::kEnabled) {
+    if (!search.converged) return;
+    DWM_AUDIT_CHECK(search.synopsis.size() <= budget);
+    const double exact = MaxAbsError(data, search.synopsis);
+    DWM_AUDIT_CHECK(std::abs(exact - search.max_abs_error) <= 1e-9);
+  }
+}
 
 // Job computing e_l: every worker emits its largest local coefficient
 // magnitudes (at most B+1 of them); the reducer merges them with the root
@@ -132,6 +147,7 @@ DIndirectHaarResult DIndirectHaar(const std::vector<double>& data,
     out.search.converged = true;
     out.search.synopsis = con.synopsis;
     out.search.max_abs_error = e_u;
+    AuditSearchResult(data, options.budget, out.search);
     return out;
   }
   if (e_u <= options.quantum / 2.0) {
@@ -149,6 +165,7 @@ DIndirectHaarResult DIndirectHaar(const std::vector<double>& data,
   out.search =
       IndirectHaarSearch(solver, std::min(e_l, e_u), e_u, options.budget,
                          options.quantum, options.max_iterations);
+  AuditSearchResult(data, options.budget, out.search);
   return out;
 }
 

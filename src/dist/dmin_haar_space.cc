@@ -1,49 +1,19 @@
 #include "dist/dmin_haar_space.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <utility>
 
+#include "common/audit.h"
 #include "common/bits.h"
 #include "common/check.h"
 #include "common/stopwatch.h"
+#include "dist/serde.h"
 #include "mr/bytes.h"
 #include "mr/job.h"
 #include "wavelet/error_tree.h"
-
-namespace dwm::mr {
-
-// M-rows cross worker boundaries; their serialized size is what Equation 6
-// accounts.
-template <>
-struct Serde<mhs::Cell> {
-  static void Put(ByteBuffer& b, const mhs::Cell& c) {
-    b.PutScalar<int32_t>(c.count);
-    b.PutScalar<double>(c.err);
-  }
-  static mhs::Cell Get(ByteReader& r) {
-    mhs::Cell c;
-    c.count = r.GetScalar<int32_t>();
-    c.err = r.GetScalar<double>();
-    return c;
-  }
-};
-
-template <>
-struct Serde<mhs::Row> {
-  static void Put(ByteBuffer& b, const mhs::Row& row) {
-    b.PutScalar<int64_t>(row.lo);
-    Serde<std::vector<mhs::Cell>>::Put(b, row.cells);
-  }
-  static mhs::Row Get(ByteReader& r) {
-    mhs::Row row;
-    row.lo = r.GetScalar<int64_t>();
-    row.cells = Serde<std::vector<mhs::Cell>>::Get(r);
-    return row;
-  }
-};
-
-}  // namespace dwm::mr
+#include "wavelet/metrics.h"
 
 namespace dwm {
 namespace {
@@ -298,6 +268,14 @@ DmhsResult DMinHaarSpace(const std::vector<double>& data,
   out.result.max_abs_error = best.err;
   out.result.synopsis = Synopsis(n, std::move(coeffs));
   DWM_CHECK_EQ(out.result.synopsis.size(), out.result.count);
+  if constexpr (audit::kEnabled) {
+    // Synopsis post-conditions: the materialized synopsis must achieve the
+    // DP-tracked error exactly (it is the same objective the DP optimized),
+    // and that error must satisfy the requested bound.
+    const double exact = MaxAbsError(data, out.result.synopsis);
+    DWM_AUDIT_CHECK(std::abs(exact - out.result.max_abs_error) <= 1e-9);
+    DWM_AUDIT_CHECK(exact <= options.error_bound + 1e-9);
+  }
   return out;
 }
 

@@ -4,46 +4,17 @@
 #include <map>
 #include <utility>
 
+#include "common/audit.h"
 #include "common/bits.h"
 #include "common/check.h"
 #include "common/stopwatch.h"
+#include "dist/serde.h"
 #include "dist/tree_partition.h"
 #include "mr/bytes.h"
 #include "mr/job.h"
 #include "wavelet/error_tree.h"
 #include "wavelet/haar.h"
 
-namespace dwm::mr {
-
-template <>
-struct Serde<mmv::Cell> {
-  static void Put(ByteBuffer& b, const mmv::Cell& c) {
-    b.PutScalar<double>(c.v);
-    b.PutScalar<int32_t>(c.y_units);
-    b.PutScalar<int32_t>(c.left_units);
-  }
-  static mmv::Cell Get(ByteReader& r) {
-    mmv::Cell c;
-    c.v = r.GetScalar<double>();
-    c.y_units = r.GetScalar<int32_t>();
-    c.left_units = r.GetScalar<int32_t>();
-    return c;
-  }
-};
-
-template <>
-struct Serde<mmv::Row> {
-  static void Put(ByteBuffer& b, const mmv::Row& row) {
-    Serde<std::vector<mmv::Cell>>::Put(b, row.cells);
-  }
-  static mmv::Row Get(ByteReader& r) {
-    mmv::Row row;
-    row.cells = Serde<std::vector<mmv::Cell>>::Get(r);
-    return row;
-  }
-};
-
-}  // namespace dwm::mr
 
 namespace dwm {
 namespace {
@@ -216,7 +187,7 @@ DMinMaxVarResult DMinMaxVar(const std::vector<double>& data,
             {node, static_cast<int32_t>(y_units)});
         if (mmv::RetainCoin(options.seed, node, static_cast<int32_t>(y_units), q) &&
             c != 0.0) {
-          result->push_back({node, c * q / y_units});
+          result->push_back({node, c * q / static_cast<double>(y_units)});
         }
       }
     };
@@ -229,6 +200,19 @@ DMinMaxVarResult DMinMaxVar(const std::vector<double>& data,
 
   out.result.expected_space_units = spent_units;
   out.result.synopsis = Synopsis(n, std::move(kept));
+  if constexpr (audit::kEnabled) {
+    // Post-conditions: the DP may spend at most budget * q expected-space
+    // units, every allotment is a positive probability <= 1, and the
+    // synopsis only realizes allocated nodes.
+    DWM_AUDIT_CHECK(out.result.expected_space_units <=
+                    options.budget * options.resolution);
+    for (const auto& [node, y_units] : out.result.allocations) {
+      DWM_AUDIT_CHECK(node >= 0 && node < n);
+      DWM_AUDIT_CHECK(y_units > 0 && y_units <= options.resolution);
+    }
+    DWM_AUDIT_CHECK(out.result.synopsis.size() <=
+                    static_cast<int64_t>(out.result.allocations.size()));
+  }
   return out;
 }
 

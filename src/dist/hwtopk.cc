@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "common/bits.h"
+#include "common/audit.h"
 #include "common/check.h"
 #include "common/stopwatch.h"
 #include "dist/tree_partition.h"
@@ -282,6 +283,9 @@ DistSynopsisResult RunHWTopk(const std::vector<double>& data, int64_t budget,
     top.Offer(x, raw);
   }
   result.synopsis = Synopsis(n, top.Take());
+  if constexpr (audit::kEnabled) {
+    DWM_AUDIT_CHECK(result.synopsis.size() <= budget);
+  }
   result.report.jobs.back().reduce_makespan_seconds +=
       finalize.ElapsedSeconds() * cluster.compute_scale;
   return result;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/bits.h"
+#include "common/audit.h"
 #include "common/check.h"
 #include "common/stopwatch.h"
 #include "dist/tree_partition.h"
@@ -78,6 +79,9 @@ DistSynopsisResult RunSendCoef(const std::vector<double>& data, int64_t budget,
   mr::RunJob(spec, splits, cluster, &stats);
   Stopwatch finalize;
   result.synopsis = Synopsis(n, top.Take());
+  if constexpr (audit::kEnabled) {
+    DWM_AUDIT_CHECK(result.synopsis.size() <= budget);
+  }
   stats.reduce_makespan_seconds +=
       finalize.ElapsedSeconds() * cluster.compute_scale;
   result.report.jobs.push_back(stats);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/bits.h"
+#include "common/audit.h"
 #include "common/check.h"
 #include "common/stopwatch.h"
 #include "core/conventional.h"
@@ -53,6 +54,9 @@ DistSynopsisResult RunSendV(const std::vector<double>& data, int64_t budget,
   // is exactly why Send-V does not scale (Figure 10).
   Stopwatch finalize;
   result.synopsis = ConventionalFromCoeffs(ForwardHaar(collected), budget);
+  if constexpr (audit::kEnabled) {
+    DWM_AUDIT_CHECK(result.synopsis.size() <= budget);
+  }
   stats.reduce_makespan_seconds +=
       finalize.ElapsedSeconds() * cluster.compute_scale;
   result.report.jobs.push_back(stats);

@@ -1,5 +1,6 @@
 #include "dist/tree_partition.h"
 
+#include "common/audit.h"
 #include "common/bits.h"
 #include "common/check.h"
 #include "wavelet/error_tree.h"
@@ -16,6 +17,12 @@ TreePartition MakeTreePartition(int64_t n, int64_t base_leaves) {
   partition.n = n;
   partition.base_leaves = base_leaves;
   partition.num_base = n / base_leaves;
+  if constexpr (audit::kEnabled) {
+    // Every distributed run enters through this partition; audit builds
+    // re-verify the index algebra the slice/sub-tree mapping relies on.
+    ValidateErrorTreeStructure(n);
+    audit::NoteCheck();
+  }
   return partition;
 }
 
@@ -38,7 +45,8 @@ std::vector<AlignedBlock> AlignedBlocks(int64_t begin, int64_t end) {
   int64_t lo = begin;
   while (lo < end) {
     // Largest power of two that both divides lo and fits in [lo, end).
-    int64_t size = lo == 0 ? NextPowerOfTwo(static_cast<uint64_t>(end))
+    int64_t size = lo == 0 ? static_cast<int64_t>(
+                                 NextPowerOfTwo(static_cast<uint64_t>(end)))
                            : (lo & -lo);
     while (lo + size > end) size /= 2;
     blocks.push_back({lo, size});

@@ -12,10 +12,12 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "common/audit.h"
 #include "common/check.h"
 #include "common/stopwatch.h"
 #include "mr/bytes.h"
@@ -70,14 +72,13 @@ std::vector<Out> RunJob(const JobSpec<Split, K, V, Out>& spec,
                         Counters* counters = nullptr) {
   DWM_CHECK(stats != nullptr);
   DWM_CHECK_GE(spec.num_reducers, 1);
-  const auto partition =
-      spec.partition ? spec.partition : [&spec](const K& key) {
-        return HashPartition<K>(key, spec.num_reducers);
-      };
   const auto key_less = spec.key_less
                             ? spec.key_less
                             : [](const K& a, const K& b) { return a < b; };
 
+  // Reset the stats outright: every field below accumulates with +=, so a
+  // JobStats reused across jobs must not carry the previous job's totals.
+  *stats = JobStats{};
   stats->name = spec.name;
   stats->map_tasks = static_cast<int64_t>(splits.size());
   stats->reduce_tasks = spec.num_reducers;
@@ -88,6 +89,7 @@ std::vector<Out> RunJob(const JobSpec<Split, K, V, Out>& spec,
   std::vector<double> map_seconds;
   map_seconds.reserve(splits.size());
   int64_t shuffle_records = 0;
+  ByteBuffer key_bytes;  // per-record scratch, reused across emits
 
   for (int64_t task = 0; task < static_cast<int64_t>(splits.size()); ++task) {
     const Split& split = splits[static_cast<size_t>(task)];
@@ -95,12 +97,50 @@ std::vector<Out> RunJob(const JobSpec<Split, K, V, Out>& spec,
     stats->input_bytes += static_cast<int64_t>(in_bytes);
     Stopwatch clock;
     auto emit = [&](const K& key, const V& value) {
-      const int r = partition(key);
+      // Serialize the key once: the same bytes feed the default
+      // partitioner's hash and the reducer buffer.
+      key_bytes.clear();
+      Serde<K>::Put(key_bytes, key);
+      const int r =
+          spec.partition
+              ? spec.partition(key)
+              : static_cast<int>(FnvHash(key_bytes.data(), key_bytes.size()) %
+                                 static_cast<uint64_t>(spec.num_reducers));
       DWM_CHECK_GE(r, 0);
       DWM_CHECK_LT(r, spec.num_reducers);
       ByteBuffer& buf = shuffle[static_cast<size_t>(r)];
-      Serde<K>::Put(buf, key);
+      const size_t record_start = buf.size();
+      buf.PutRaw(key_bytes.data(), key_bytes.size());
+      const size_t value_start = buf.size();
       Serde<V>::Put(buf, value);
+      if constexpr (audit::kEnabled) {
+        // Partitioner stability: a second evaluation must route the same
+        // key to the same reducer (and the optimized default path must
+        // agree with the public HashPartition).
+        if (spec.partition) {
+          DWM_AUDIT_CHECK(spec.partition(key) == r);
+        } else {
+          DWM_AUDIT_CHECK(HashPartition<K>(key, spec.num_reducers) == r);
+        }
+        // Serde round-trip self-verification on the record just written:
+        // Get must consume exactly the bytes Put produced for the key and
+        // for the value, and re-encoding the decoded pair must reproduce
+        // the same bytes.
+        const size_t record_size = buf.size() - record_start;
+        ByteReader reader(buf.data() + record_start, record_size);
+        const K decoded_key = Serde<K>::Get(reader);
+        DWM_AUDIT_CHECK(record_size - reader.remaining() ==
+                        value_start - record_start);
+        const V decoded_value = Serde<V>::Get(reader);
+        DWM_AUDIT_CHECK(reader.Done());
+        ByteBuffer reencoded;
+        Serde<K>::Put(reencoded, decoded_key);
+        Serde<V>::Put(reencoded, decoded_value);
+        DWM_AUDIT_CHECK(reencoded.size() == record_size);
+        DWM_AUDIT_CHECK(std::memcmp(reencoded.data(),
+                                    buf.data() + record_start,
+                                    record_size) == 0);
+      }
       ++shuffle_records;
     };
     spec.map(task, split, emit);

@@ -84,6 +84,60 @@ inline int64_t LocalToGlobal(int64_t root, int64_t local) {
   return root * (int64_t{1} << depth) + (local - (int64_t{1} << depth));
 }
 
+// Exhaustive structural validation of the error-tree index algebra over n
+// leaves: power-of-two size, aligned power-of-two leaf ranges, parent/child
+// range splitting, leaf-path consistency and local<->global index mapping.
+// O(n log n); intended for DWM_AUDIT builds and tests, not production paths.
+inline void ValidateErrorTreeStructure(int64_t n) {
+  DWM_CHECK_GE(n, 2);
+  DWM_CHECK(IsPowerOfTwo(static_cast<uint64_t>(n)));
+  DWM_CHECK_EQ(NodeLeafRange(n, 0).count, n);
+  for (int64_t i = 1; i < n; ++i) {
+    const LeafRange r = NodeLeafRange(n, i);
+    const int level = NodeLevel(i);
+    // Each node covers an aligned power-of-two block of n >> level leaves.
+    DWM_CHECK_EQ(r.count, n >> level);
+    DWM_CHECK(IsPowerOfTwo(static_cast<uint64_t>(r.count)));
+    DWM_CHECK_EQ(r.first % r.count, 0);
+    DWM_CHECK_GE(r.first, 0);
+    DWM_CHECK_LE(r.first + r.count, n);
+    DWM_CHECK_EQ(LocalToGlobal(i, 1), i);
+    if (i < n / 2) {
+      // Interior node: children 2i and 2i+1 split the leaf range in half.
+      const LeafRange left = NodeLeafRange(n, 2 * i);
+      const LeafRange right = NodeLeafRange(n, 2 * i + 1);
+      DWM_CHECK_EQ(left.first, r.first);
+      DWM_CHECK_EQ(left.count, r.count / 2);
+      DWM_CHECK_EQ(right.first, r.first + r.count / 2);
+      DWM_CHECK_EQ(right.count, r.count / 2);
+      DWM_CHECK_EQ(LocalToGlobal(i, 2), 2 * i);
+      DWM_CHECK_EQ(LocalToGlobal(i, 3), 2 * i + 1);
+    } else {
+      // Bottom coefficient: its children are the data leaves 2i - n and
+      // 2i + 1 - n, which must be exactly its 2-leaf range.
+      DWM_CHECK_EQ(r.count, 2);
+      DWM_CHECK_EQ(2 * i - n, r.first);
+      DWM_CHECK_EQ(LeafParent(n, r.first), i);
+      DWM_CHECK_EQ(LeafParent(n, r.first + 1), i);
+      DWM_CHECK_EQ(LeafSign(n, i, r.first), +1);
+      DWM_CHECK_EQ(LeafSign(n, i, r.first + 1), -1);
+    }
+  }
+  // Every leaf path runs from its bottom parent to c_0, visiting log2(n)+1
+  // nodes whose leaf ranges all contain the leaf.
+  const int expected_path = Log2Exact(static_cast<uint64_t>(n)) + 1;
+  for (int64_t j = 0; j < n; ++j) {
+    int visited = 0;
+    ForEachPathNode(n, j, [&](int64_t node) {
+      const LeafRange r = NodeLeafRange(n, node);
+      DWM_CHECK_GE(j, r.first);
+      DWM_CHECK_LT(j, r.first + r.count);
+      ++visited;
+    });
+    DWM_CHECK_EQ(visited, expected_path);
+  }
+}
+
 }  // namespace dwm
 
 #endif  // DWMAXERR_WAVELET_ERROR_TREE_H_

@@ -8,17 +8,17 @@ namespace dwm {
 std::vector<double> ForwardHaar(const std::vector<double>& data) {
   const int64_t n = static_cast<int64_t>(data.size());
   DWM_CHECK(IsPowerOfTwo(static_cast<uint64_t>(n)));
-  std::vector<double> coeffs(n);
+  std::vector<double> coeffs(static_cast<size_t>(n));
   std::vector<double> averages = data;
   // Each pass halves the resolution: averages[t] of length `len` become
   // len/2 averages and len/2 detail coefficients stored at W[len/2 + t].
   for (int64_t len = n; len >= 2; len /= 2) {
     const int64_t half = len / 2;
     for (int64_t t = 0; t < half; ++t) {
-      const double a = averages[2 * t];
-      const double b = averages[2 * t + 1];
-      averages[t] = (a + b) / 2.0;
-      coeffs[half + t] = (a - b) / 2.0;
+      const double a = averages[static_cast<size_t>(2 * t)];
+      const double b = averages[static_cast<size_t>(2 * t + 1)];
+      averages[static_cast<size_t>(t)] = (a + b) / 2.0;
+      coeffs[static_cast<size_t>(half + t)] = (a - b) / 2.0;
     }
   }
   coeffs[0] = averages[0];
@@ -38,16 +38,16 @@ int64_t PadToPowerOfTwo(std::vector<double>* data) {
 std::vector<double> InverseHaar(const std::vector<double>& coeffs) {
   const int64_t n = static_cast<int64_t>(coeffs.size());
   DWM_CHECK(IsPowerOfTwo(static_cast<uint64_t>(n)));
-  std::vector<double> values(n);
+  std::vector<double> values(static_cast<size_t>(n));
   values[0] = coeffs[0];
   // Expand one resolution level per pass: `len` running averages become
   // 2*len finer averages using the detail coefficients at W[len .. 2*len).
   for (int64_t len = 1; len < n; len *= 2) {
     for (int64_t t = len - 1; t >= 0; --t) {
-      const double avg = values[t];
-      const double c = coeffs[len + t];
-      values[2 * t] = avg + c;
-      values[2 * t + 1] = avg - c;
+      const double avg = values[static_cast<size_t>(t)];
+      const double c = coeffs[static_cast<size_t>(len + t)];
+      values[static_cast<size_t>(2 * t)] = avg + c;
+      values[static_cast<size_t>(2 * t + 1)] = avg - c;
     }
   }
   return values;

@@ -44,11 +44,11 @@ TEST(HaarTest, LinearityOfTransform) {
   const auto a = testing::RandomData(64, 1);
   const auto b = testing::RandomData(64, 2);
   std::vector<double> sum(64);
-  for (int i = 0; i < 64; ++i) sum[i] = 2.0 * a[i] + 3.0 * b[i];
+  for (size_t i = 0; i < 64; ++i) sum[i] = 2.0 * a[i] + 3.0 * b[i];
   const auto wa = ForwardHaar(a);
   const auto wb = ForwardHaar(b);
   const auto ws = ForwardHaar(sum);
-  for (int i = 0; i < 64; ++i) {
+  for (size_t i = 0; i < 64; ++i) {
     EXPECT_NEAR(ws[i], 2.0 * wa[i] + 3.0 * wb[i], 1e-9);
   }
 }
@@ -57,7 +57,7 @@ class HaarRoundtripTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(HaarRoundtripTest, ForwardInverseIsIdentity) {
   const int64_t n = int64_t{1} << GetParam();
-  const auto data = testing::RandomData(n, 1000 + GetParam());
+  const auto data = testing::RandomData(n, static_cast<uint64_t>(1000 + GetParam()));
   const auto rec = InverseHaar(ForwardHaar(data));
   ASSERT_EQ(rec.size(), data.size());
   for (size_t i = 0; i < data.size(); ++i) {
@@ -67,7 +67,7 @@ TEST_P(HaarRoundtripTest, ForwardInverseIsIdentity) {
 
 TEST_P(HaarRoundtripTest, InverseForwardIsIdentity) {
   const int64_t n = int64_t{1} << GetParam();
-  const auto coeffs = testing::RandomData(n, 2000 + GetParam());
+  const auto coeffs = testing::RandomData(n, static_cast<uint64_t>(2000 + GetParam()));
   const auto again = ForwardHaar(InverseHaar(coeffs));
   for (size_t i = 0; i < coeffs.size(); ++i) {
     EXPECT_NEAR(again[i], coeffs[i], 1e-8);

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "mr/bytes.h"
@@ -220,6 +222,178 @@ TEST(JobTest, SplitBytesFeedStorageCost) {
   EXPECT_EQ(stats.input_bytes, 800000000);
   // Two 1-second scans on 40 slots -> makespan ~1s.
   EXPECT_NEAR(stats.map_makespan_seconds, 1.0, 0.2);
+}
+
+TEST(JobTest, StatsFullyResetBetweenJobs) {
+  // Regression: RunJob must reset a reused JobStats at entry. Accumulating
+  // fields (input_bytes, shuffle totals, task-second vectors) previously
+  // carried the prior job's totals into the next run.
+  using Split = int64_t;
+  JobSpec<Split, int64_t, int64_t, int64_t> spec;
+  spec.name = "first";
+  spec.num_reducers = 2;
+  spec.map = [](int64_t, const Split&, const auto& emit) {
+    for (int64_t k = 0; k < 4; ++k) emit(k, k);
+  };
+  spec.reduce = [](const int64_t& key, std::vector<int64_t>&,
+                   std::vector<int64_t>* out) { out->push_back(key); };
+  spec.split_bytes = [](const Split&) { return 1000.0; };
+
+  JobStats stats;
+  RunJob(spec, std::vector<Split>{0, 1, 2}, ClusterConfig{}, &stats);
+  const int64_t first_input = stats.input_bytes;
+  const int64_t first_shuffle_bytes = stats.shuffle_bytes;
+  EXPECT_EQ(first_input, 3000);
+  EXPECT_EQ(stats.shuffle_records, 12);
+  EXPECT_EQ(stats.map_task_seconds.size(), 3u);
+
+  // Second, smaller job into the *same* stats object.
+  spec.name = "second";
+  RunJob(spec, std::vector<Split>{7}, ClusterConfig{}, &stats);
+  EXPECT_EQ(stats.name, "second");
+  EXPECT_EQ(stats.map_tasks, 1);
+  EXPECT_EQ(stats.input_bytes, 1000);
+  EXPECT_EQ(stats.shuffle_records, 4);
+  EXPECT_LT(stats.shuffle_bytes, first_shuffle_bytes);
+  EXPECT_EQ(stats.map_task_seconds.size(), 1u);
+  EXPECT_EQ(stats.reduce_task_seconds.size(), 2u);
+  EXPECT_EQ(stats.output_records, 4);
+}
+
+TEST(JobTest, CustomKeyLessGroupsEquivalentKeys) {
+  // Keys 3 and 8 are unequal but equivalent under mod-5 ordering; the
+  // reducer must see them as one group, in arrival order.
+  using Split = std::vector<int64_t>;
+  const std::vector<Split> splits = {{3, 1}, {8, 6}};
+  JobSpec<Split, int64_t, int64_t,
+          std::pair<int64_t, std::vector<int64_t>>>
+      spec;
+  spec.name = "mod_keys";
+  spec.num_reducers = 1;
+  spec.map = [](int64_t, const Split& split, const auto& emit) {
+    for (int64_t v : split) emit(v, v);
+  };
+  spec.key_less = [](const int64_t& a, const int64_t& b) {
+    return a % 5 < b % 5;
+  };
+  spec.reduce = [](const int64_t& key, std::vector<int64_t>& values,
+                   std::vector<std::pair<int64_t, std::vector<int64_t>>>* out) {
+    out->push_back({key % 5, values});
+  };
+  JobStats stats;
+  const auto out = RunJob(spec, splits, ClusterConfig{}, &stats);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].first, 1);
+  EXPECT_EQ(out[0].second, (std::vector<int64_t>{1, 6}));
+  EXPECT_EQ(out[1].first, 3);
+  EXPECT_EQ(out[1].second, (std::vector<int64_t>{3, 8}));
+}
+
+TEST(JobTest, EmptySplitsProduceEmptyOutput) {
+  using Split = int64_t;
+  JobSpec<Split, int64_t, int64_t, int64_t> spec;
+  spec.name = "no_splits";
+  spec.num_reducers = 3;
+  spec.map = [](int64_t, const Split&, const auto& emit) { emit(0, 0); };
+  spec.reduce = [](const int64_t& key, std::vector<int64_t>&,
+                   std::vector<int64_t>* out) { out->push_back(key); };
+  JobStats stats;
+  const auto out = RunJob(spec, std::vector<Split>{}, ClusterConfig{}, &stats);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(stats.map_tasks, 0);
+  EXPECT_EQ(stats.reduce_tasks, 3);
+  EXPECT_EQ(stats.shuffle_records, 0);
+  EXPECT_EQ(stats.shuffle_bytes, 0);
+  EXPECT_EQ(stats.input_bytes, 0);
+}
+
+TEST(JobTest, MapEmittingNothingStillRunsReducers) {
+  using Split = int64_t;
+  int reduce_calls = 0;
+  JobSpec<Split, int64_t, int64_t, int64_t> spec;
+  spec.name = "silent_maps";
+  spec.num_reducers = 2;
+  spec.map = [](int64_t, const Split&, const auto&) {};
+  spec.reduce = [&](const int64_t&, std::vector<int64_t>&,
+                    std::vector<int64_t>*) { ++reduce_calls; };
+  JobStats stats;
+  const auto out =
+      RunJob(spec, std::vector<Split>{0, 1, 2}, ClusterConfig{}, &stats);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(reduce_calls, 0);  // no keys, so reduce never fires
+  EXPECT_EQ(stats.map_tasks, 3);
+  EXPECT_EQ(stats.shuffle_records, 0);
+  EXPECT_EQ(stats.reduce_task_seconds.size(), 2u);
+}
+
+TEST(JobTest, MoreReducersThanDistinctKeys) {
+  using Split = int64_t;
+  JobSpec<Split, int64_t, int64_t, std::pair<int64_t, int64_t>> spec;
+  spec.name = "wide";
+  spec.num_reducers = 16;
+  spec.map = [](int64_t, const Split&, const auto& emit) {
+    emit(1, 10);
+    emit(2, 20);
+    emit(1, 11);
+  };
+  spec.reduce = [](const int64_t& key, std::vector<int64_t>& values,
+                   std::vector<std::pair<int64_t, int64_t>>* out) {
+    int64_t total = 0;
+    for (int64_t v : values) total += v;
+    out->push_back({key, total});
+  };
+  JobStats stats;
+  auto out = RunJob(spec, std::vector<Split>{0}, ClusterConfig{}, &stats);
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, (std::vector<std::pair<int64_t, int64_t>>{{1, 21}, {2, 20}}));
+  EXPECT_EQ(stats.reduce_tasks, 16);
+  EXPECT_EQ(stats.reduce_task_seconds.size(), 16u);
+}
+
+TEST(JobTest, DefaultPartitionMatchesHashPartition) {
+  // The engine's single-serialization fast path must route every key to
+  // the reducer HashPartition names, and shuffle exactly key+value bytes.
+  using Split = int64_t;
+  const int kReducers = 5;
+  JobSpec<Split, std::string, int64_t, std::pair<std::string, int64_t>> spec;
+  spec.name = "routing";
+  spec.num_reducers = kReducers;
+  spec.map = [](int64_t, const Split&, const auto& emit) {
+    emit("alpha", 1);
+    emit("beta", 2);
+    emit("gamma", 3);
+  };
+  spec.reduce = [](const std::string& key, std::vector<int64_t>& values,
+                   std::vector<std::pair<std::string, int64_t>>* out) {
+    out->push_back({key, values[0]});
+  };
+  JobStats stats;
+  const auto out = RunJob(spec, std::vector<Split>{0}, ClusterConfig{}, &stats);
+  // Outputs arrive in reducer order; each key must sit at the reducer index
+  // the public HashPartition computes for it.
+  ASSERT_EQ(out.size(), 3u);
+  std::map<std::string, size_t> position;
+  for (size_t i = 0; i < out.size(); ++i) position[out[i].first] = i;
+  const std::vector<std::string> keys = {"alpha", "beta", "gamma"};
+  std::vector<std::pair<int, std::string>> expected;
+  for (const std::string& key : keys) {
+    expected.push_back({HashPartition<std::string>(key, kReducers), key});
+  }
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(out[i].first, expected[i].second);
+  }
+  // Byte accounting: each record is exactly len-prefixed key + 8-byte value.
+  int64_t want_bytes = 0;
+  for (const std::string& key : keys) {
+    ByteBuffer buf;
+    Serde<std::string>::Put(buf, key);
+    Serde<int64_t>::Put(buf, 0);
+    want_bytes += static_cast<int64_t>(buf.size());
+  }
+  EXPECT_EQ(stats.shuffle_bytes, want_bytes);
+  EXPECT_EQ(stats.shuffle_records, 3);
 }
 
 TEST(JobTest, CountersMerged) {

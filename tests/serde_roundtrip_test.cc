@@ -1,0 +1,132 @@
+// Round-trip tests for every Serde specialization that can cross the
+// map->reduce boundary. dwm_lint's serde-roundtrip rule enforces that each
+// specialization under src/ is exercised here: a Put/Get pair that is not
+// byte-symmetric corrupts every record that follows it in a shuffle buffer.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dist/serde.h"
+#include "mr/bytes.h"
+
+namespace dwm::mr {
+namespace {
+
+// Serializes `value`, decodes it, and checks that (a) Get consumed exactly
+// the bytes Put produced and (b) re-encoding the decoded value reproduces
+// the same bytes. Returns the decoded value for field-level checks.
+template <typename T>
+T RoundTrip(const T& value) {
+  ByteBuffer buf;
+  Serde<T>::Put(buf, value);
+  ByteReader reader(buf);
+  T decoded = Serde<T>::Get(reader);
+  EXPECT_TRUE(reader.Done()) << "Get consumed fewer bytes than Put produced";
+  ByteBuffer again;
+  Serde<T>::Put(again, decoded);
+  EXPECT_EQ(again.size(), buf.size());
+  EXPECT_EQ(std::memcmp(again.data(), buf.data(), buf.size()), 0)
+      << "re-encoding the decoded value produced different bytes";
+  return decoded;
+}
+
+TEST(SerdeRoundtripTest, Int32) {
+  EXPECT_EQ(RoundTrip<int32_t>(0), 0);
+  EXPECT_EQ(RoundTrip<int32_t>(-7), -7);
+  EXPECT_EQ(RoundTrip<int32_t>(std::numeric_limits<int32_t>::min()),
+            std::numeric_limits<int32_t>::min());
+}
+
+TEST(SerdeRoundtripTest, Int64) {
+  EXPECT_EQ(RoundTrip<int64_t>(int64_t{1} << 40), int64_t{1} << 40);
+  EXPECT_EQ(RoundTrip<int64_t>(-1), -1);
+}
+
+TEST(SerdeRoundtripTest, Uint64) {
+  EXPECT_EQ(RoundTrip<uint64_t>(~uint64_t{0}), ~uint64_t{0});
+}
+
+TEST(SerdeRoundtripTest, Double) {
+  EXPECT_DOUBLE_EQ(RoundTrip<double>(3.25), 3.25);
+  EXPECT_DOUBLE_EQ(RoundTrip<double>(-0.0), -0.0);
+  EXPECT_DOUBLE_EQ(RoundTrip<double>(1e300), 1e300);
+}
+
+TEST(SerdeRoundtripTest, String) {
+  EXPECT_EQ(RoundTrip<std::string>(""), "");
+  EXPECT_EQ(RoundTrip<std::string>("hello"), "hello");
+  EXPECT_EQ(RoundTrip<std::string>(std::string("\0with\0nuls", 10)),
+            std::string("\0with\0nuls", 10));
+}
+
+TEST(SerdeRoundtripTest, Pair) {
+  const std::pair<int64_t, std::string> p = {42, "key"};
+  EXPECT_EQ((RoundTrip<std::pair<int64_t, std::string>>(p)), p);
+}
+
+TEST(SerdeRoundtripTest, Vector) {
+  const std::vector<double> v = {1.0, -2.5, 0.0};
+  EXPECT_EQ(RoundTrip<std::vector<double>>(v), v);
+  EXPECT_EQ(RoundTrip<std::vector<double>>({}), std::vector<double>{});
+}
+
+TEST(SerdeRoundtripTest, DGreedyFrontierPoint) {
+  const dgreedy_internal::FrontierPoint p = {12.5, 1 << 20};
+  const auto decoded = RoundTrip<dgreedy_internal::FrontierPoint>(p);
+  EXPECT_DOUBLE_EQ(decoded.error, p.error);
+  EXPECT_EQ(decoded.kept, p.kept);
+}
+
+TEST(SerdeRoundtripTest, MhsCell) {
+  mhs::Cell c;
+  c.count = 17;
+  c.err = 0.125;
+  const auto decoded = RoundTrip<mhs::Cell>(c);
+  EXPECT_EQ(decoded.count, 17);
+  EXPECT_DOUBLE_EQ(decoded.err, 0.125);
+}
+
+TEST(SerdeRoundtripTest, MhsRow) {
+  mhs::Row row;
+  row.lo = -3;
+  row.cells = {{1, 0.5}, {2, 1.5}, {mhs::Cell::kInfCount,
+                                    std::numeric_limits<double>::infinity()}};
+  const auto decoded = RoundTrip<mhs::Row>(row);
+  EXPECT_EQ(decoded.lo, row.lo);
+  ASSERT_EQ(decoded.cells.size(), row.cells.size());
+  for (size_t i = 0; i < row.cells.size(); ++i) {
+    EXPECT_EQ(decoded.cells[i].count, row.cells[i].count);
+    EXPECT_DOUBLE_EQ(decoded.cells[i].err, row.cells[i].err);
+  }
+  // The empty (infeasible) row must round-trip too.
+  EXPECT_TRUE(RoundTrip<mhs::Row>(mhs::Row{}).cells.empty());
+}
+
+TEST(SerdeRoundtripTest, MmvCell) {
+  mmv::Cell c;
+  c.v = 2.75;
+  c.y_units = 3;
+  c.left_units = 1;
+  const auto decoded = RoundTrip<mmv::Cell>(c);
+  EXPECT_DOUBLE_EQ(decoded.v, 2.75);
+  EXPECT_EQ(decoded.y_units, 3);
+  EXPECT_EQ(decoded.left_units, 1);
+}
+
+TEST(SerdeRoundtripTest, MmvRow) {
+  mmv::Row row;
+  row.cells.resize(3);
+  row.cells[1].v = 1.0;
+  row.cells[1].y_units = 2;
+  const auto decoded = RoundTrip<mmv::Row>(row);
+  ASSERT_EQ(decoded.cells.size(), 3u);
+  EXPECT_DOUBLE_EQ(decoded.cells[1].v, 1.0);
+  EXPECT_EQ(decoded.cells[1].y_units, 2);
+}
+
+}  // namespace
+}  // namespace dwm::mr

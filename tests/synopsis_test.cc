@@ -79,7 +79,7 @@ class SynopsisPropertyTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(SynopsisPropertyTest, PointEstimateMatchesDenseReconstruction) {
   const int64_t n = int64_t{1} << GetParam();
-  const auto data = testing::RandomData(n, 77 + GetParam());
+  const auto data = testing::RandomData(n, static_cast<uint64_t>(77 + GetParam()));
   auto coeffs = ForwardHaar(data);
   // Keep an arbitrary half of the coefficients.
   std::vector<Coefficient> kept;
@@ -97,7 +97,7 @@ TEST_P(SynopsisPropertyTest, PointEstimateMatchesDenseReconstruction) {
 
 TEST_P(SynopsisPropertyTest, RangeSumMatchesPointSums) {
   const int64_t n = int64_t{1} << GetParam();
-  const auto data = testing::RandomData(n, 99 + GetParam());
+  const auto data = testing::RandomData(n, static_cast<uint64_t>(99 + GetParam()));
   auto coeffs = ForwardHaar(data);
   std::vector<Coefficient> kept;
   for (int64_t i = 0; i < n; ++i) {

@@ -174,7 +174,7 @@ int CmdInfo(const Flags& flags) {
   std::printf("coefficients: %lld\n", static_cast<long long>(synopsis.size()));
   std::printf("compression : %.1fx\n",
               static_cast<double>(synopsis.domain_size()) /
-                  std::max<int64_t>(synopsis.size(), 1));
+                  static_cast<double>(std::max<int64_t>(synopsis.size(), 1)));
   const auto& cs = synopsis.coefficients();
   for (int64_t i = 0; i < std::min<int64_t>(8, synopsis.size()); ++i) {
     std::printf("  c[%lld] = %.6g\n",

@@ -1,0 +1,280 @@
+#!/usr/bin/env python3
+"""dwm_lint: repository invariant linter for dwmaxerr.
+
+Checks (each can be suppressed per line with `// dwm-lint: allow(<rule>)`):
+
+  include-guard   Every header uses a guard named after its path:
+                  src/mr/job.h -> DWMAXERR_MR_JOB_H_,
+                  tests/test_util.h -> DWMAXERR_TESTS_TEST_UTIL_H_.
+  using-namespace No `using namespace` at any scope in headers.
+  serde-pair      Every `Serde<T>` specialization defines both Put and Get.
+  serde-roundtrip Every `Serde<T>` specialization is exercised by a
+                  round-trip test under tests/ (matched on `Serde<Head` or
+                  `RoundTrip<Head`, where Head is the type up to its first
+                  template argument).
+  no-float        No `float` in public APIs (headers under src/): the paper's
+                  error guarantees are analyzed in double precision.
+  banned-function No calls to rand, atoi or strcpy (use Rng, strtol/
+                  from_chars and std::string/memcpy instead).
+
+Exit status is non-zero iff any finding is reported, so the tool can run as
+a ctest test and as a CI job.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+CXX_SUFFIXES = (".h", ".cc", ".cpp")
+SOURCE_DIRS = ("src", "tests", "bench", "examples", "tools")
+BANNED_FUNCTIONS = ("rand", "atoi", "strcpy")
+
+ALLOW_RE = re.compile(r"//\s*dwm-lint:\s*allow\(([a-z-]+)\)")
+
+
+class Findings:
+    def __init__(self):
+        self.items = []
+
+    def add(self, path, line, rule, message):
+        self.items.append((path, line, rule, message))
+
+    def report(self):
+        for path, line, rule, message in sorted(self.items):
+            where = f"{path}:{line}" if line else path
+            print(f"{where}: [{rule}] {message}")
+        return len(self.items)
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments and string/char literals, preserving newlines so
+    line numbers stay accurate."""
+    out = []
+    i, n = 0, len(text)
+    state = None  # None | 'line' | 'block' | '"' | "'"
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state is None:
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c in "\"'":
+                state = c
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = None
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = None
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        else:  # inside a string/char literal
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == state:
+                state = None
+            out.append(c if c in (state, "\n") else " ")
+        i += 1
+    return "".join(out)
+
+
+def allowed_rules(raw_line):
+    return set(ALLOW_RE.findall(raw_line))
+
+
+def iter_sources(root):
+    for top in SOURCE_DIRS:
+        for dirpath, _, names in os.walk(os.path.join(root, top)):
+            for name in sorted(names):
+                if name.endswith(CXX_SUFFIXES):
+                    yield os.path.relpath(os.path.join(dirpath, name), root)
+
+
+def expected_guard(rel_path):
+    # Headers under src/ drop the src/ prefix (they are included as
+    # "mr/job.h"); other trees keep their directory name.
+    parts = rel_path.split(os.sep)
+    if parts[0] == "src":
+        parts = parts[1:]
+    stem = "_".join(parts)
+    stem = re.sub(r"\.h$", "", stem).replace("/", "_").replace(".", "_")
+    return f"DWMAXERR_{stem.upper()}_H_"
+
+
+def check_include_guard(findings, rel_path, raw_lines):
+    guard = expected_guard(rel_path)
+    ifndef = f"#ifndef {guard}"
+    define = f"#define {guard}"
+    endif = f"#endif  // {guard}"
+    stripped = [line.rstrip("\n") for line in raw_lines]
+    if ifndef not in stripped or define not in stripped:
+        findings.add(rel_path, 1, "include-guard",
+                     f"expected guard '{guard}' (#ifndef/#define pair)")
+        return
+    if not any(line.startswith(endif) for line in stripped):
+        findings.add(rel_path, len(stripped), "include-guard",
+                     f"expected closing '#endif  // {guard}'")
+
+
+def check_using_namespace(findings, rel_path, raw_lines, code_lines):
+    for idx, code in enumerate(code_lines, start=1):
+        if re.search(r"\busing\s+namespace\b", code):
+            if "using-namespace" in allowed_rules(raw_lines[idx - 1]):
+                continue
+            findings.add(rel_path, idx, "using-namespace",
+                         "`using namespace` is banned in headers")
+
+
+def check_no_float(findings, rel_path, raw_lines, code_lines):
+    for idx, code in enumerate(code_lines, start=1):
+        if re.search(r"\bfloat\b", code):
+            if "no-float" in allowed_rules(raw_lines[idx - 1]):
+                continue
+            findings.add(rel_path, idx, "no-float",
+                         "`float` in a public API; use double "
+                         "(max-error guarantees are analyzed in doubles)")
+
+
+def check_banned_functions(findings, rel_path, raw_lines, code_lines):
+    pattern = re.compile(
+        r"(?<![\w:.>])(" + "|".join(BANNED_FUNCTIONS) + r")\s*\(")
+    std_pattern = re.compile(
+        r"std\s*::\s*(" + "|".join(BANNED_FUNCTIONS) + r")\s*\(")
+    for idx, code in enumerate(code_lines, start=1):
+        hit = pattern.search(code) or std_pattern.search(code)
+        if not hit:
+            continue
+        if "banned-function" in allowed_rules(raw_lines[idx - 1]):
+            continue
+        findings.add(rel_path, idx, "banned-function",
+                     f"call to banned function '{hit.group(1)}' "
+                     "(use Rng / strtol / memcpy+length instead)")
+
+
+SERDE_SPEC_RE = re.compile(r"struct\s+Serde\s*<(.+?)>\s*\{", re.DOTALL)
+
+
+def serde_head(type_text):
+    """Normalizes a specialization argument to its head type: the text up to
+    the first template argument list ('std::pair<A, B>' -> 'std::pair')."""
+    return type_text.split("<", 1)[0].strip()
+
+
+def extract_serde_specializations(root):
+    """Returns {head_type: (rel_path, line)} for every Serde specialization
+    under src/."""
+    specs = {}
+    for rel_path in iter_sources(root):
+        if not rel_path.startswith("src"):
+            continue
+        with open(os.path.join(root, rel_path), encoding="utf-8") as f:
+            text = f.read()
+        code = strip_comments_and_strings(text)
+        for match in SERDE_SPEC_RE.finditer(code):
+            head = serde_head(match.group(1))
+            line = code[:match.start()].count("\n") + 1
+            # The body runs to the matching close brace; a flat scan is
+            # enough because Serde bodies only nest braces inside functions.
+            body = _matched_braces(code, match.end() - 1)
+            specs[head] = (rel_path, line, body)
+    return specs
+
+
+def _matched_braces(code, open_idx):
+    depth = 0
+    for i in range(open_idx, len(code)):
+        if code[i] == "{":
+            depth += 1
+        elif code[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return code[open_idx:i + 1]
+    return code[open_idx:]
+
+
+def check_serde(findings, root):
+    specs = extract_serde_specializations(root)
+    tests_text = []
+    tests_dir = os.path.join(root, "tests")
+    for dirpath, _, names in os.walk(tests_dir):
+        for name in sorted(names):
+            if name.endswith(CXX_SUFFIXES):
+                with open(os.path.join(dirpath, name), encoding="utf-8") as f:
+                    tests_text.append(f.read())
+    tests_blob = "\n".join(tests_text)
+
+    for head, (rel_path, line, body) in sorted(specs.items()):
+        has_put = re.search(r"\bstatic\s+[\w:<>,\s&]*\bPut\s*\(", body)
+        has_get = re.search(r"\bstatic\s+[\w:<>,\s&]*\bGet\s*\(", body)
+        if not (has_put and has_get):
+            findings.add(rel_path, line, "serde-pair",
+                         f"Serde<{head}> must define both Put and Get")
+            continue
+        # Round-trip coverage: a test must exercise Serde<Head...> directly
+        # or through serde_roundtrip_test.cc's RoundTrip<Head...> helper.
+        if (f"Serde<{head}" not in tests_blob and
+                f"RoundTrip<{head}" not in tests_blob):
+            findings.add(rel_path, line, "serde-roundtrip",
+                         f"Serde<{head}> has no round-trip test under "
+                         "tests/ (add one to serde_roundtrip_test.cc)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".",
+                        help="repository root (default: cwd)")
+    args = parser.parse_args()
+    root = os.path.abspath(args.root)
+    # A missing or wrong root must not report "clean": that is how a typo'd
+    # CI path silently disables the whole linter.
+    missing = [d for d in SOURCE_DIRS
+               if not os.path.isdir(os.path.join(root, d))]
+    if missing:
+        print(f"dwm_lint: {root} does not look like the repository root "
+              f"(missing {', '.join(missing)}/)", file=sys.stderr)
+        return 2
+
+    findings = Findings()
+    for rel_path in iter_sources(root):
+        with open(os.path.join(root, rel_path), encoding="utf-8") as f:
+            text = f.read()
+        raw_lines = text.splitlines()
+        code_lines = strip_comments_and_strings(text).splitlines()
+        if rel_path.endswith(".h"):
+            check_include_guard(findings, rel_path, raw_lines)
+            check_using_namespace(findings, rel_path, raw_lines, code_lines)
+        if rel_path.startswith("src") and rel_path.endswith(".h"):
+            check_no_float(findings, rel_path, raw_lines, code_lines)
+        check_banned_functions(findings, rel_path, raw_lines, code_lines)
+    check_serde(findings, root)
+
+    count = findings.report()
+    if count:
+        print(f"dwm_lint: {count} finding(s)")
+        return 1
+    print("dwm_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
