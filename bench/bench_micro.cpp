@@ -1,6 +1,8 @@
 // google-benchmark microbenchmarks for the core kernels: the Haar
 // transform, reconstruction queries, the greedy discard loops, the
-// MinHaarSpace DP primitives, and the envelope operations behind GreedyRel.
+// MinHaarSpace DP primitives, the envelope operations behind GreedyRel,
+// and the MR engine's threaded executor (DGreedyAbs end to end per
+// worker-thread count).
 #include <benchmark/benchmark.h>
 
 #include "common/rng.h"
@@ -10,6 +12,8 @@
 #include "core/greedy_rel.h"
 #include "core/min_haar_space.h"
 #include "data/generators.h"
+#include "dist/dgreedy.h"
+#include "mr/cluster.h"
 #include "wavelet/haar.h"
 #include "wavelet/synopsis.h"
 
@@ -95,6 +99,30 @@ void BM_RangeSum(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RangeSum);
+
+// The threaded MR executor end to end: a large-N DGreedyAbs run at an
+// explicit worker-thread count. Real time is the metric (the whole point
+// is wall-clock speedup); results are byte-identical across thread counts,
+// so any Arg(t) spends the same total compute.
+void BM_DGreedyAbsThreads(benchmark::State& state) {
+  const auto data = Data(1 << 18);
+  dwm::mr::ClusterConfig cluster;
+  cluster.worker_threads = static_cast<int>(state.range(0));
+  dwm::DGreedyOptions options;
+  options.budget = 1 << 10;
+  options.base_leaves = 1 << 12;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dwm::DGreedyAbs(data, options, cluster));
+  }
+  state.SetItemsProcessed(state.iterations() * (int64_t{1} << 18));
+}
+BENCHMARK(BM_DGreedyAbsThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_EnvelopeMerge(benchmark::State& state) {
   dwm::Rng rng(3);

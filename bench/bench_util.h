@@ -2,9 +2,13 @@
 // paper table/figure; see DESIGN.md section 4 for the index).
 //
 // Environment knobs:
-//   DWM_SCALE  integer added to every log2 dataset size (default 0). The
-//              paper runs up to 537M points; the defaults here are sized for
-//              a single-core sandbox, and the *shapes* are size-invariant.
+//   DWM_SCALE    integer added to every log2 dataset size (default 0). The
+//                paper runs up to 537M points; the defaults here are sized
+//                for a single-core sandbox, and the *shapes* are
+//                size-invariant.
+//   DWM_THREADS  engine worker threads executing map/reduce tasks (default:
+//                hardware concurrency). Any value produces byte-identical
+//                synopses and shuffle accounting — only wall-clock changes.
 #ifndef DWMAXERR_BENCH_BENCH_UTIL_H_
 #define DWMAXERR_BENCH_BENCH_UTIL_H_
 
@@ -26,6 +30,13 @@ inline int64_t ScaledN(int log2_default) {
   return int64_t{1} << (log2_default + ScaleShift());
 }
 
+// Engine worker threads for the harness cluster configs: the DWM_THREADS
+// env knob when set, otherwise hardware concurrency (mr::ResolveWorkerThreads
+// handles both through the 0 = auto convention).
+inline int WorkerThreads() {
+  return mr::ResolveWorkerThreads(/*worker_threads=*/0);
+}
+
 // The paper's platform: 9 machines, 8 slaves x 5 map slots / x 2 reduce
 // slots, 2 GHz Xeons.
 inline mr::ClusterConfig PaperCluster(int map_slots = 40,
@@ -39,6 +50,9 @@ inline mr::ClusterConfig PaperCluster(int map_slots = 40,
   config.storage_bytes_per_second = 400.0e6;
   // The paper's 2 GHz Xeon + JVM is slower than this native build.
   config.compute_scale = 2.0;
+  // Real engine concurrency (simulated slots above model the cluster;
+  // worker threads shrink this process's wall clock): DWM_THREADS or auto.
+  config.worker_threads = WorkerThreads();
   return config;
 }
 

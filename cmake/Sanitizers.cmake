@@ -3,8 +3,9 @@
 # Usage: configure with -DDWM_SANITIZE=<list>, where <list> is a comma- or
 # semicolon-separated subset of {address, undefined, leak, thread}. The
 # CMakePresets.json presets `asan-ubsan`, `lsan` and `tsan` wire the common
-# combinations (tsan exists ahead of the parallel map/reduce executor; the
-# current engine is single-threaded, so it should run clean by construction).
+# combinations (tsan races the MR engine's thread-pool executor — mr/job.h
+# runs map and reduce tasks on worker threads — and runs in CI as its own
+# matrix leg).
 #
 # Thread sanitizer cannot be combined with address/leak sanitizers; this
 # module rejects that combination at configure time. All sanitizers run with

@@ -1,9 +1,11 @@
-// Wall-clock stopwatch used to measure per-task compute time that feeds the
-// cluster cost model.
+// Stopwatches used to measure the per-task compute time that feeds the
+// cluster cost model: a wall-clock Stopwatch for driver-side phases and a
+// per-thread CPU-time ThreadCpuStopwatch for map/reduce task bodies.
 #ifndef DWMAXERR_COMMON_STOPWATCH_H_
 #define DWMAXERR_COMMON_STOPWATCH_H_
 
 #include <chrono>
+#include <ctime>
 
 namespace dwm {
 
@@ -20,6 +22,37 @@ class Stopwatch {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+// Measures CPU time consumed by the *calling thread* only
+// (CLOCK_THREAD_CPUTIME_ID). This is what a task costs on a dedicated
+// cluster slot: when the engine oversubscribes cores with worker threads,
+// wall clocks would charge each task for time the scheduler spent running
+// its siblings, inflating every measured task time and with it the modeled
+// makespans. Falls back to wall clock where the POSIX clock is unavailable.
+class ThreadCpuStopwatch {
+ public:
+  ThreadCpuStopwatch() : start_(Now()) {}
+
+  void Restart() { start_ = Now(); }
+
+  double ElapsedSeconds() const { return Now() - start_; }
+
+ private:
+  static double Now() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+    std::timespec ts{};
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+      return static_cast<double>(ts.tv_sec) +
+             static_cast<double>(ts.tv_nsec) * 1e-9;
+    }
+#endif
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  double start_;
 };
 
 }  // namespace dwm

@@ -19,7 +19,10 @@ DistSynopsisResult RunCon(const std::vector<double>& data, int64_t budget,
   const int64_t num_base = partition.num_base;
 
   // Reducer-scoped state (a Hadoop reducer would hold this across its
-  // reduce() calls and finish in cleanup()).
+  // reduce() calls and finish in cleanup()). Thread-safe with the threaded
+  // executor: num_reducers == 1, so all reduce() calls run on one worker
+  // thread, and the join before RunJob returns orders them against the
+  // driver's reads below.
   std::vector<double> averages(static_cast<size_t>(num_base), 0.0);
   dist_internal::TopBySignificance top(budget);
 

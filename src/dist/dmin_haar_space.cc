@@ -100,6 +100,10 @@ DmhsResult DMinHaarSpace(const std::vector<double>& data,
       }
       emit(last ? 0 : task / fan, {last ? task : task % fan, std::move(row)});
     };
+    // Thread-safe with the threaded executor even at num_reducers > 1: each
+    // reduce() call writes only stage_inputs[s + 1][key] (or final_rows when
+    // there is a single reducer), and `key` is reducer-partitioned, so
+    // concurrent reducers touch disjoint elements of a pre-sized vector.
     spec.reduce = [&, s, last](const int64_t& key,
                                std::vector<std::pair<int64_t, mhs::Row>>& rows,
                                std::vector<int64_t>*) {

@@ -1,11 +1,23 @@
 #include "mr/cluster.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <queue>
+#include <thread>
 
 #include "common/check.h"
 
 namespace dwm::mr {
+
+int ResolveWorkerThreads(int worker_threads) {
+  if (worker_threads > 0) return worker_threads;
+  if (const char* env = std::getenv("DWM_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<int>(std::min(parsed, 1024L));
+  }
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : static_cast<int>(hardware);
+}
 
 JobStats RescheduleJob(const JobStats& job, const ClusterConfig& config) {
   JobStats out = job;
@@ -13,6 +25,13 @@ JobStats RescheduleJob(const JobStats& job, const ClusterConfig& config) {
       ScheduleMakespan(job.map_task_seconds, config.map_slots);
   out.reduce_makespan_seconds =
       ScheduleMakespan(job.reduce_task_seconds, config.reduce_slots);
+  // Every config-derived quantity must follow the new config (see the
+  // contract in cluster.h); copying the original run's values silently
+  // reported stale shuffle/overhead times when rescheduling onto a cluster
+  // with a different network bandwidth or job overhead.
+  out.shuffle_seconds =
+      static_cast<double>(job.shuffle_bytes) / config.network_bytes_per_second;
+  out.job_overhead_seconds = config.job_overhead_seconds;
   return out;
 }
 

@@ -29,7 +29,21 @@ struct ClusterConfig {
   // Calibration multiplier applied to measured CPU seconds (e.g. to model
   // the paper's 2 GHz Xeons or a JVM tax); 1.0 = this machine.
   double compute_scale = 1.0;
+  // Engine worker threads executing map/reduce tasks concurrently.
+  // 0 = auto: the DWM_THREADS environment variable if set (and positive),
+  // otherwise the hardware concurrency. The thread count never changes job
+  // *results*: RunJob merges per-task emit buffers in task order, so
+  // shuffle bytes, record order, counters and reducer outputs are
+  // byte-identical at every setting — only real_seconds moves. Per-task
+  // compute is measured on per-thread CPU clocks (ThreadCpuStopwatch), so
+  // the cost model's task times stay meaningful even when worker threads
+  // oversubscribe the machine's cores.
+  int worker_threads = 0;
 };
+
+// Effective engine concurrency for a ClusterConfig::worker_threads value
+// (resolves the 0 = auto case as documented above); always >= 1.
+int ResolveWorkerThreads(int worker_threads);
 
 // Completion time of `task_seconds` scheduled FIFO onto `slots` identical
 // slots (each next task starts on the earliest-free slot).
@@ -80,9 +94,16 @@ struct SimReport {
   int64_t total_jobs() const { return static_cast<int64_t>(jobs.size()); }
 };
 
-// Recomputes a job's (or report's) makespans for a different slot count,
-// reusing the recorded per-task times. Only the slot counts of `config`
-// are applied; per-task costs stay as measured under the original run.
+// Recomputes a job's (or report's) *modeled* quantities for a different
+// cluster, reusing the recorded measurements. Contract: everything derived
+// from `config` is re-derived from the new one — map/reduce makespans from
+// the recorded per-task times and the new slot counts, shuffle_seconds from
+// the recorded shuffle_bytes and the new network bandwidth, and
+// job_overhead_seconds from the new config. The recorded per-task times
+// themselves (startup + scaled compute + storage reads) are *not* adjusted:
+// they stay as measured under the original run's task_startup_seconds,
+// compute_scale and storage_bytes_per_second, so reschedule onto configs
+// that differ only in slots, network bandwidth or job overhead.
 JobStats RescheduleJob(const JobStats& job, const ClusterConfig& config);
 SimReport RescheduleReport(const SimReport& report,
                            const ClusterConfig& config);

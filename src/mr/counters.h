@@ -1,27 +1,56 @@
 // Named job counters (records/bytes emitted, runs executed, ...), in the
-// spirit of Hadoop counters. Deterministic across runs.
+// spirit of Hadoop counters. Deterministic across runs, and safe for
+// concurrent use: the MR engine executes map and reduce tasks on worker
+// threads, so any task-side Add (and the engine's own per-job accounting)
+// may race a driver-side read without external locking.
 #ifndef DWMAXERR_MR_COUNTERS_H_
 #define DWMAXERR_MR_COUNTERS_H_
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 namespace dwm::mr {
 
 class Counters {
  public:
-  void Add(const std::string& name, int64_t delta) { values_[name] += delta; }
+  Counters() = default;
+  Counters(const Counters& other) : values_(other.values()) {}
+  Counters& operator=(const Counters& other) {
+    if (this != &other) {
+      auto snapshot = other.values();
+      const std::lock_guard<std::mutex> lock(mu_);
+      values_ = std::move(snapshot);
+    }
+    return *this;
+  }
+
+  void Add(const std::string& name, int64_t delta) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    values_[name] += delta;
+  }
   int64_t Get(const std::string& name) const {
+    const std::lock_guard<std::mutex> lock(mu_);
     const auto it = values_.find(name);
     return it == values_.end() ? 0 : it->second;
   }
-  const std::map<std::string, int64_t>& values() const { return values_; }
+  // Snapshot of every counter (a copy: the live map may change under a
+  // reference the moment another thread Adds).
+  std::map<std::string, int64_t> values() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return values_;
+  }
   void MergeFrom(const Counters& other) {
-    for (const auto& [name, v] : other.values_) values_[name] += v;
+    // Snapshot first: no lock-ordering concerns, and self-merge just
+    // doubles every counter instead of deadlocking.
+    const std::map<std::string, int64_t> snapshot = other.values();
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, v] : snapshot) values_[name] += v;
   }
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, int64_t> values_;
 };
 

@@ -4,3 +4,4 @@
 
 #include "mr/bytes.h"
 #include "mr/counters.h"
+#include "mr/thread_pool.h"

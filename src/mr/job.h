@@ -1,20 +1,40 @@
-// The MapReduce job engine. Deterministic, single-process execution with
-// real per-task time measurement and byte-accurate shuffles; the cluster
-// cost model (cluster.h) turns those into simulated job times.
+// The MapReduce job engine. Deterministic, multi-threaded single-process
+// execution with real per-task time measurement and byte-accurate shuffles;
+// the cluster cost model (cluster.h) turns those into simulated job times.
 //
 // Semantics mirror Hadoop's: map tasks run over input splits and emit typed
 // (K, V) pairs, the engine serializes each pair into the buffer of the
 // reducer selected by the partitioner, reducers sort their input by key and
 // invoke reduce once per distinct key. Reducers may start only after all
 // maps finish (no slowstart), which is what the paper's job-time plots show.
+//
+// Execution model (ClusterConfig::worker_threads): map tasks run
+// concurrently on a thread pool, each serializing into its own per-task,
+// per-reducer emit buffers; the driver thread then merges those buffers
+// into the shuffle in task order, so the shuffle is byte-identical to a
+// sequential run. Reducers likewise run concurrently with their outputs
+// concatenated in reducer order. Consequences for job authors:
+//   - map closures may freely *read* shared state but must not mutate it
+//     (emit is task-local and always safe);
+//   - reduce closures run concurrently when num_reducers > 1; they must
+//     only write through their `out` vector or to state partitioned by key
+//     (all keys of one reducer stay on one thread, and the pool join
+//     happens-before RunJob's return, so reducer-scoped captures written
+//     under num_reducers == 1 are safe to read afterwards);
+//   - per-task compute is charged by a per-thread CPU clock
+//     (ThreadCpuStopwatch), so measured task times stay meaningful when
+//     worker threads oversubscribe the machine's cores.
 #ifndef DWMAXERR_MR_JOB_H_
 #define DWMAXERR_MR_JOB_H_
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <functional>
+#include <iterator>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/audit.h"
@@ -23,6 +43,7 @@
 #include "mr/bytes.h"
 #include "mr/cluster.h"
 #include "mr/counters.h"
+#include "mr/thread_pool.h"
 
 namespace dwm::mr {
 
@@ -47,14 +68,17 @@ int HashPartition(const K& key, int num_reducers) {
 template <typename Split, typename K, typename V, typename Out>
 struct JobSpec {
   std::string name;
-  // map(task_id, split, emit): called once per split.
+  // map(task_id, split, emit): called once per split, possibly concurrently
+  // with other tasks — it must not mutate state shared across tasks.
   std::function<void(int64_t, const Split&,
                      const std::function<void(const K&, const V&)>&)>
       map;
-  // reduce(key, values, out): called once per distinct key, keys ascending.
+  // reduce(key, values, out): called once per distinct key, keys ascending
+  // within a reducer; reducers may run concurrently (see the header note).
   std::function<void(const K&, std::vector<V>&, std::vector<Out>*)> reduce;
   int num_reducers = 1;
-  // reducer index for a key; defaults to hash partitioning.
+  // reducer index for a key; defaults to hash partitioning. Must be a pure
+  // function of the key (it is evaluated from worker threads).
   std::function<int(const K&)> partition;
   // key ordering used by the shuffle sort; defaults to operator<.
   std::function<bool(const K&, const K&)> key_less;
@@ -62,9 +86,23 @@ struct JobSpec {
   std::function<double(const Split&)> split_bytes;
 };
 
+namespace job_internal {
+
+// Everything one map task produces, written only by the task that owns it;
+// the driver merges these in task order after the map phase joins.
+struct MapTaskOutput {
+  std::vector<ByteBuffer> per_reducer;
+  int64_t records = 0;
+  double in_bytes = 0.0;
+  double task_seconds = 0.0;
+};
+
+}  // namespace job_internal
+
 // Runs the job and returns the concatenated reducer outputs (in reducer
 // order). Fills `stats` (required) and merges per-job counters into
-// `counters` if non-null.
+// `counters` if non-null. Results are byte-identical for every
+// config.worker_threads value.
 template <typename Split, typename K, typename V, typename Out>
 std::vector<Out> RunJob(const JobSpec<Split, K, V, Out>& spec,
                         const std::vector<Split>& splits,
@@ -75,27 +113,36 @@ std::vector<Out> RunJob(const JobSpec<Split, K, V, Out>& spec,
   const auto key_less = spec.key_less
                             ? spec.key_less
                             : [](const K& a, const K& b) { return a < b; };
+  const int num_reducers = spec.num_reducers;
+  const int64_t num_map_tasks = static_cast<int64_t>(splits.size());
 
   // Reset the stats outright: every field below accumulates with +=, so a
   // JobStats reused across jobs must not carry the previous job's totals.
   *stats = JobStats{};
   stats->name = spec.name;
-  stats->map_tasks = static_cast<int64_t>(splits.size());
-  stats->reduce_tasks = spec.num_reducers;
+  stats->map_tasks = num_map_tasks;
+  stats->reduce_tasks = num_reducers;
   stats->job_overhead_seconds = config.job_overhead_seconds;
 
   Stopwatch total_clock;
-  std::vector<ByteBuffer> shuffle(static_cast<size_t>(spec.num_reducers));
-  std::vector<double> map_seconds;
-  map_seconds.reserve(splits.size());
-  int64_t shuffle_records = 0;
-  ByteBuffer key_bytes;  // per-record scratch, reused across emits
+  // One pool serves both phases; capping at the widest phase avoids
+  // spawning threads that could never claim a task.
+  ThreadPool pool(static_cast<int>(std::min<int64_t>(
+      ResolveWorkerThreads(config.worker_threads),
+      std::max<int64_t>({int64_t{1}, num_map_tasks,
+                         static_cast<int64_t>(num_reducers)}))));
 
-  for (int64_t task = 0; task < static_cast<int64_t>(splits.size()); ++task) {
+  // ---- Map phase: concurrent tasks, task-local emit buffers. ----
+  std::vector<job_internal::MapTaskOutput> map_outputs(
+      static_cast<size_t>(num_map_tasks));
+  pool.ParallelFor(num_map_tasks, [&](int64_t task) {
     const Split& split = splits[static_cast<size_t>(task)];
-    const double in_bytes = spec.split_bytes ? spec.split_bytes(split) : 0.0;
-    stats->input_bytes += static_cast<int64_t>(in_bytes);
-    Stopwatch clock;
+    job_internal::MapTaskOutput& out =
+        map_outputs[static_cast<size_t>(task)];
+    out.per_reducer.resize(static_cast<size_t>(num_reducers));
+    out.in_bytes = spec.split_bytes ? spec.split_bytes(split) : 0.0;
+    ByteBuffer key_bytes;  // per-record scratch, reused across emits
+    ThreadCpuStopwatch clock;
     auto emit = [&](const K& key, const V& value) {
       // Serialize the key once: the same bytes feed the default
       // partitioner's hash and the reducer buffer.
@@ -105,10 +152,10 @@ std::vector<Out> RunJob(const JobSpec<Split, K, V, Out>& spec,
           spec.partition
               ? spec.partition(key)
               : static_cast<int>(FnvHash(key_bytes.data(), key_bytes.size()) %
-                                 static_cast<uint64_t>(spec.num_reducers));
+                                 static_cast<uint64_t>(num_reducers));
       DWM_CHECK_GE(r, 0);
-      DWM_CHECK_LT(r, spec.num_reducers);
-      ByteBuffer& buf = shuffle[static_cast<size_t>(r)];
+      DWM_CHECK_LT(r, num_reducers);
+      ByteBuffer& buf = out.per_reducer[static_cast<size_t>(r)];
       const size_t record_start = buf.size();
       buf.PutRaw(key_bytes.data(), key_bytes.size());
       const size_t value_start = buf.size();
@@ -120,12 +167,13 @@ std::vector<Out> RunJob(const JobSpec<Split, K, V, Out>& spec,
         if (spec.partition) {
           DWM_AUDIT_CHECK(spec.partition(key) == r);
         } else {
-          DWM_AUDIT_CHECK(HashPartition<K>(key, spec.num_reducers) == r);
+          DWM_AUDIT_CHECK(HashPartition<K>(key, num_reducers) == r);
         }
         // Serde round-trip self-verification on the record just written:
         // Get must consume exactly the bytes Put produced for the key and
         // for the value, and re-encoding the decoded pair must reproduce
-        // the same bytes.
+        // the same bytes. Runs on the worker thread over task-local
+        // buffers, so it stays race-free under the concurrent executor.
         const size_t record_size = buf.size() - record_start;
         ByteReader reader(buf.data() + record_start, record_size);
         const K decoded_key = Serde<K>::Get(reader);
@@ -141,13 +189,36 @@ std::vector<Out> RunJob(const JobSpec<Split, K, V, Out>& spec,
                                     buf.data() + record_start,
                                     record_size) == 0);
       }
-      ++shuffle_records;
+      ++out.records;
     };
     spec.map(task, split, emit);
-    map_seconds.push_back(clock.ElapsedSeconds() * config.compute_scale +
-                          config.task_startup_seconds +
-                          in_bytes / config.storage_bytes_per_second);
+    out.task_seconds = clock.ElapsedSeconds() * config.compute_scale +
+                       config.task_startup_seconds +
+                       out.in_bytes / config.storage_bytes_per_second;
+  });
+
+  // ---- Shuffle merge: driver-side, in task order, so the per-reducer
+  // frames are byte-identical to a sequential execution. ----
+  std::vector<ByteBuffer> shuffle(static_cast<size_t>(num_reducers));
+  std::vector<double> map_seconds;
+  map_seconds.reserve(static_cast<size_t>(num_map_tasks));
+  int64_t shuffle_records = 0;
+  double input_bytes = 0.0;  // in double: int64 truncation per split would
+                             // under-count by up to a byte per task
+  for (job_internal::MapTaskOutput& out : map_outputs) {
+    input_bytes += out.in_bytes;
+    shuffle_records += out.records;
+    map_seconds.push_back(out.task_seconds);
+    for (int r = 0; r < num_reducers; ++r) {
+      const ByteBuffer& buf = out.per_reducer[static_cast<size_t>(r)];
+      if (buf.size() != 0) {
+        shuffle[static_cast<size_t>(r)].PutRaw(buf.data(), buf.size());
+      }
+    }
+    out.per_reducer.clear();
+    out.per_reducer.shrink_to_fit();  // cap peak memory at ~one extra task
   }
+  stats->input_bytes = std::llround(input_bytes);
 
   int64_t shuffle_bytes = 0;
   for (const ByteBuffer& buf : shuffle) {
@@ -156,11 +227,12 @@ std::vector<Out> RunJob(const JobSpec<Split, K, V, Out>& spec,
   stats->shuffle_bytes = shuffle_bytes;
   stats->shuffle_records = shuffle_records;
 
-  std::vector<Out> output;
-  std::vector<double> reduce_seconds;
-  reduce_seconds.reserve(static_cast<size_t>(spec.num_reducers));
-  for (int r = 0; r < spec.num_reducers; ++r) {
-    Stopwatch clock;
+  // ---- Reduce phase: concurrent reducers, per-reducer output vectors. ----
+  std::vector<std::vector<Out>> reducer_outputs(
+      static_cast<size_t>(num_reducers));
+  std::vector<double> reduce_seconds(static_cast<size_t>(num_reducers), 0.0);
+  pool.ParallelFor(num_reducers, [&](int64_t r) {
+    ThreadCpuStopwatch clock;
     ByteReader reader(shuffle[static_cast<size_t>(r)]);
     std::vector<std::pair<K, V>> pairs;
     while (!reader.Done()) {
@@ -172,6 +244,7 @@ std::vector<Out> RunJob(const JobSpec<Split, K, V, Out>& spec,
                      [&](const std::pair<K, V>& a, const std::pair<K, V>& b) {
                        return key_less(a.first, b.first);
                      });
+    std::vector<Out>* out = &reducer_outputs[static_cast<size_t>(r)];
     size_t i = 0;
     while (i < pairs.size()) {
       size_t j = i + 1;
@@ -183,11 +256,23 @@ std::vector<Out> RunJob(const JobSpec<Split, K, V, Out>& spec,
       std::vector<V> values;
       values.reserve(j - i);
       for (size_t t = i; t < j; ++t) values.push_back(std::move(pairs[t].second));
-      spec.reduce(pairs[i].first, values, &output);
+      spec.reduce(pairs[i].first, values, out);
       i = j;
     }
-    reduce_seconds.push_back(clock.ElapsedSeconds() * config.compute_scale +
-                             config.task_startup_seconds);
+    reduce_seconds[static_cast<size_t>(r)] =
+        clock.ElapsedSeconds() * config.compute_scale +
+        config.task_startup_seconds;
+  });
+
+  // Concatenate in reducer order (identical to the sequential run).
+  std::vector<Out> output;
+  size_t total_outputs = 0;
+  for (const std::vector<Out>& part : reducer_outputs) {
+    total_outputs += part.size();
+  }
+  output.reserve(total_outputs);
+  for (std::vector<Out>& part : reducer_outputs) {
+    std::move(part.begin(), part.end(), std::back_inserter(output));
   }
   stats->output_records = static_cast<int64_t>(output.size());
 

@@ -76,7 +76,7 @@ TEST(ClusterTest, HalvingSlotsRoughlyDoublesTime) {
   EXPECT_DOUBLE_EQ(t10, 2.0 * t20);
 }
 
-TEST(ClusterTest, RescheduleReportChangesOnlyMakespans) {
+TEST(ClusterTest, RescheduleReportRecomputesModeledQuantities) {
   JobStats job;
   job.name = "j";
   job.map_task_seconds = {1.0, 1.0, 1.0, 1.0};
@@ -84,6 +84,8 @@ TEST(ClusterTest, RescheduleReportChangesOnlyMakespans) {
   job.shuffle_bytes = 100;
   job.map_makespan_seconds = ScheduleMakespan(job.map_task_seconds, 4);
   job.reduce_makespan_seconds = ScheduleMakespan(job.reduce_task_seconds, 1);
+  job.shuffle_seconds = 100.0 / 100.0e6;
+  job.job_overhead_seconds = 6.0;
   SimReport report;
   report.jobs.push_back(job);
   report.driver_seconds = 3.0;
@@ -91,11 +93,20 @@ TEST(ClusterTest, RescheduleReportChangesOnlyMakespans) {
   ClusterConfig halved;
   halved.map_slots = 2;
   halved.reduce_slots = 1;
+  halved.network_bytes_per_second = 50.0;
+  halved.job_overhead_seconds = 9.0;
   const SimReport re = RescheduleReport(report, halved);
   EXPECT_DOUBLE_EQ(re.jobs[0].map_makespan_seconds, 2.0);  // two waves
   EXPECT_DOUBLE_EQ(re.jobs[0].reduce_makespan_seconds, 2.0);
   EXPECT_EQ(re.jobs[0].shuffle_bytes, 100);
+  // Regression: shuffle and overhead times must follow the *new* config,
+  // not echo the original run's values.
+  EXPECT_DOUBLE_EQ(re.jobs[0].shuffle_seconds, 2.0);  // 100 B at 50 B/s
+  EXPECT_DOUBLE_EQ(re.jobs[0].job_overhead_seconds, 9.0);
   EXPECT_DOUBLE_EQ(re.driver_seconds, 3.0);
+  // Measured per-task times are carried over untouched.
+  EXPECT_EQ(re.jobs[0].map_task_seconds, job.map_task_seconds);
+  EXPECT_EQ(re.jobs[0].reduce_task_seconds, job.reduce_task_seconds);
 }
 
 TEST(CountersTest, AddAndMerge) {

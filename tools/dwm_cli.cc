@@ -6,6 +6,9 @@
 //   dwm_cli build --input data.bin --algo greedy-abs|greedy-rel|conventional|
 //                 indirect-haar|minmaxvar --budget B [--sanity S]
 //                 [--quantum Q] --output synopsis.dwm
+//   dwm_cli dbuild --input data.bin --algo dgreedy-abs|dgreedy-rel|dcon|
+//                 send-v|send-coef --budget B [--base-leaves L] [--sanity S]
+//                 [--threads T] --output synopsis.dwm
 //   dwm_cli info  --synopsis synopsis.dwm
 //   dwm_cli point --synopsis synopsis.dwm --index I
 //   dwm_cli sum   --synopsis synopsis.dwm --from A --to B
@@ -18,6 +21,7 @@
 #include <cstring>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/conventional.h"
@@ -27,6 +31,11 @@
 #include "core/min_max_var.h"
 #include "data/generators.h"
 #include "data/io.h"
+#include "dist/dcon.h"
+#include "dist/dgreedy.h"
+#include "dist/send_coef.h"
+#include "dist/send_v.h"
+#include "mr/cluster.h"
 #include "wavelet/haar.h"
 #include "wavelet/metrics.h"
 
@@ -167,6 +176,72 @@ int CmdBuild(const Flags& flags) {
   return 0;
 }
 
+// Distributed construction on the simulated cluster. --threads sets the
+// engine's real worker-thread count (0 = auto: DWM_THREADS env, then
+// hardware concurrency); results are byte-identical at any setting.
+int CmdDBuild(const Flags& flags) {
+  std::vector<double> data = LoadData(Require(flags, "input"));
+  const int64_t original = dwm::PadToPowerOfTwo(&data);
+  const std::string algo = Require(flags, "algo");
+  const int64_t budget = std::atoll(Require(flags, "budget").c_str());
+  const double sanity = std::atof(Optional(flags, "sanity", "1").c_str());
+  const int64_t base_leaves = std::atoll(
+      Optional(flags, "base-leaves", "256").c_str());
+  dwm::mr::ClusterConfig cluster;
+  cluster.worker_threads = static_cast<int>(
+      std::strtol(Optional(flags, "threads", "0").c_str(), nullptr, 10));
+
+  dwm::Synopsis synopsis;
+  dwm::mr::SimReport report;
+  if (algo == "dgreedy-abs" || algo == "dgreedy-rel") {
+    dwm::DGreedyOptions options;
+    options.budget = budget;
+    options.base_leaves = base_leaves;
+    dwm::DGreedyResult r = algo == "dgreedy-abs"
+                               ? dwm::DGreedyAbs(data, options, cluster)
+                               : dwm::DGreedyRel(data, options, sanity, cluster);
+    synopsis = std::move(r.synopsis);
+    report = std::move(r.report);
+  } else if (algo == "dcon") {
+    dwm::DistSynopsisResult r = dwm::RunCon(data, budget, base_leaves, cluster);
+    synopsis = std::move(r.synopsis);
+    report = std::move(r.report);
+  } else if (algo == "send-v") {
+    dwm::DistSynopsisResult r =
+        dwm::RunSendV(data, budget, base_leaves, cluster);
+    synopsis = std::move(r.synopsis);
+    report = std::move(r.report);
+  } else if (algo == "send-coef") {
+    dwm::DistSynopsisResult r =
+        dwm::RunSendCoef(data, budget, base_leaves, cluster);
+    synopsis = std::move(r.synopsis);
+    report = std::move(r.report);
+  } else {
+    std::fprintf(stderr, "unknown distributed algorithm: %s\n", algo.c_str());
+    return 2;
+  }
+  const dwm::Status status =
+      dwm::WriteSynopsis(Require(flags, "output"), synopsis);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "%s synopsis: %lld coefficients over %lld values (%lld original), "
+      "max_abs %.4f\n",
+      algo.c_str(), static_cast<long long>(synopsis.size()),
+      static_cast<long long>(synopsis.domain_size()),
+      static_cast<long long>(original), dwm::MaxAbsError(data, synopsis));
+  std::printf(
+      "cluster    : %lld jobs, %lld shuffle bytes, %.3f simulated s "
+      "(%d engine threads)\n",
+      static_cast<long long>(report.total_jobs()),
+      static_cast<long long>(report.total_shuffle_bytes()),
+      report.total_sim_seconds(),
+      dwm::mr::ResolveWorkerThreads(cluster.worker_threads));
+  return 0;
+}
+
 int CmdInfo(const Flags& flags) {
   const dwm::Synopsis synopsis = LoadSynopsis(Require(flags, "synopsis"));
   std::printf("domain size : %lld\n",
@@ -227,7 +302,8 @@ int CmdEval(const Flags& flags) {
 
 void Usage() {
   std::fprintf(stderr,
-               "usage: dwm_cli <gen|build|info|point|sum|eval> --flag value "
+               "usage: dwm_cli <gen|build|dbuild|info|point|sum|eval> "
+               "--flag value "
                "...\n(see the header of tools/dwm_cli.cc)\n");
 }
 
@@ -242,6 +318,7 @@ int main(int argc, char** argv) {
   const Flags flags = ParseFlags(argc, argv, 2);
   if (command == "gen") return CmdGen(flags);
   if (command == "build") return CmdBuild(flags);
+  if (command == "dbuild") return CmdDBuild(flags);
   if (command == "info") return CmdInfo(flags);
   if (command == "point") return CmdPoint(flags);
   if (command == "sum") return CmdSum(flags);
