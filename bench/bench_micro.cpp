@@ -14,6 +14,7 @@
 #include "data/generators.h"
 #include "dist/dgreedy.h"
 #include "mr/cluster.h"
+#include "mr/faults.h"
 #include "wavelet/haar.h"
 #include "wavelet/synopsis.h"
 
@@ -121,6 +122,45 @@ BENCHMARK(BM_DGreedyAbsThreads)
     ->Arg(2)
     ->Arg(4)
     ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Recovery overhead: DGreedyAbs under deterministic fault injection, with
+// the per-attempt failure probability (in percent) swept over the range.
+// Failed map attempts genuinely re-execute, so the wall-clock cost of the
+// attempt loop shows up here; 0% is the fault-free baseline.
+void BM_DGreedyAbsFaults(benchmark::State& state) {
+  const auto data = Data(1 << 16);
+  const double fail_rate = static_cast<double>(state.range(0)) / 100.0;
+  dwm::mr::ClusterConfig cluster;
+  if (fail_rate > 0.0) {
+    dwm::mr::FaultSpec spec;
+    spec.map_failure_rate = fail_rate;
+    spec.reduce_failure_rate = fail_rate;
+    spec.straggler_rate = fail_rate;
+    spec.straggler_slowdown = 4.0;
+    cluster.faults = dwm::mr::FaultPlan(/*seed=*/1, spec);
+  } else {
+    cluster.faults = dwm::mr::FaultPlan::Disabled();
+  }
+  dwm::DGreedyOptions options;
+  options.budget = 1 << 9;
+  options.base_leaves = 1 << 10;
+  for (auto _ : state) {
+    dwm::DGreedyResult result = dwm::DGreedyAbs(data, options, cluster);
+    if (!result.status.ok()) {
+      state.SkipWithError(result.status.ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * (int64_t{1} << 16));
+}
+BENCHMARK(BM_DGreedyAbsFaults)
+    ->Arg(0)
+    ->Arg(2)
+    ->Arg(5)
+    ->Arg(10)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 

@@ -9,6 +9,10 @@
 //   DWM_THREADS  engine worker threads executing map/reduce tasks (default:
 //                hardware concurrency). Any value produces byte-identical
 //                synopses and shuffle accounting — only wall-clock changes.
+//   DWM_FAULTS   seed[:k=v,...] deterministic fault injection for every MR
+//                job (see src/mr/faults.h for the spec grammar). Results
+//                stay byte-identical as long as no task exhausts its
+//                retries; only the modeled makespans move.
 #ifndef DWMAXERR_BENCH_BENCH_UTIL_H_
 #define DWMAXERR_BENCH_BENCH_UTIL_H_
 
@@ -16,8 +20,10 @@
 #include <cstdlib>
 #include <string>
 
+#include "common/status.h"
 #include "common/stopwatch.h"
 #include "mr/cluster.h"
+#include "mr/faults.h"
 
 namespace dwm::bench {
 
@@ -37,6 +43,20 @@ inline int WorkerThreads() {
   return mr::ResolveWorkerThreads(/*worker_threads=*/0);
 }
 
+// Fault plan for the harness cluster configs: DWM_FAULTS when set (and
+// well-formed — a malformed value warns and runs fault-free), otherwise
+// inert. Plumbed explicitly so harness output can report the active seed.
+inline mr::FaultPlan HarnessFaultPlan() {
+  mr::FaultPlan plan;
+  const Status status = mr::FaultPlanFromEnv(&plan);
+  if (!status.ok()) {
+    std::fprintf(stderr, "warning: ignoring DWM_FAULTS: %s\n",
+                 status.ToString().c_str());
+    return mr::FaultPlan();
+  }
+  return plan;
+}
+
 // The paper's platform: 9 machines, 8 slaves x 5 map slots / x 2 reduce
 // slots, 2 GHz Xeons.
 inline mr::ClusterConfig PaperCluster(int map_slots = 40,
@@ -53,6 +73,8 @@ inline mr::ClusterConfig PaperCluster(int map_slots = 40,
   // Real engine concurrency (simulated slots above model the cluster;
   // worker threads shrink this process's wall clock): DWM_THREADS or auto.
   config.worker_threads = WorkerThreads();
+  // Deterministic fault injection: DWM_FAULTS or fault-free.
+  config.faults = HarnessFaultPlan();
   return config;
 }
 
@@ -65,6 +87,15 @@ inline void PrintHeader(const char* binary, const char* reproduces,
   if (ScaleShift() != 0) {
     std::printf("scale      : DWM_SCALE=%d (sizes shifted by 2^%d)\n",
                 ScaleShift(), ScaleShift());
+  }
+  if (const mr::FaultPlan plan = HarnessFaultPlan(); plan.active()) {
+    std::printf("faults     : DWM_FAULTS seed %llu "
+                "(map_fail=%.3g reduce_fail=%.3g straggle=%.3g x%.3g "
+                "node_loss=%.3g over %d nodes)\n",
+                static_cast<unsigned long long>(plan.seed()),
+                plan.spec().map_failure_rate, plan.spec().reduce_failure_rate,
+                plan.spec().straggler_rate, plan.spec().straggler_slowdown,
+                plan.spec().node_loss_rate, plan.spec().num_nodes);
   }
   std::printf("==============================================================\n");
 }

@@ -15,6 +15,7 @@ enum class StatusCode {
   kIOError = 2,
   kOutOfRange = 3,
   kFailedPrecondition = 4,
+  kAborted = 5,
 };
 
 // Value-semantic status: kOk or (code, message).
@@ -36,6 +37,9 @@ class Status {
   }
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -60,6 +64,8 @@ class Status {
         return "OutOfRange";
       case StatusCode::kFailedPrecondition:
         return "FailedPrecondition";
+      case StatusCode::kAborted:
+        return "Aborted";
     }
     return "Unknown";
   }

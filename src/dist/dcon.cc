@@ -61,7 +61,12 @@ DistSynopsisResult RunCon(const std::vector<double>& data, int64_t budget,
 
   DistSynopsisResult result;
   mr::JobStats stats;
-  mr::RunJob(spec, splits, cluster, &stats);
+  std::vector<int64_t> unused;
+  result.status = mr::RunJobOr(spec, splits, cluster, &unused, &stats);
+  if (!result.status.ok()) {
+    result.report.jobs.push_back(stats);
+    return result;
+  }
 
   // Reducer cleanup: the root sub-tree coefficients are the transform of
   // the base averages (the top of the full decomposition).

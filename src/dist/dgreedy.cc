@@ -163,8 +163,10 @@ DGreedyResult RunDGreedy(const DGreedyContext& ctx,
       min_weights[static_cast<size_t>(t)] = values[0].second;
     };
     mr::JobStats stats;
-    mr::RunJob(spec, base_splits, cluster, &stats);
+    std::vector<int64_t> unused;
+    out.status = mr::RunJobOr(spec, base_splits, cluster, &unused, &stats);
     out.report.jobs.push_back(stats);
+    if (!out.status.ok()) return out;
   }
 
   // ---- Driver: root sub-tree + genRootSets (Algorithm 4). The root
@@ -267,8 +269,9 @@ DGreedyResult RunDGreedy(const DGreedyContext& ctx,
       result->push_back({s, achieved});
     };
     mr::JobStats stats;
-    candidates = mr::RunJob(spec, base_splits, cluster, &stats);
+    out.status = mr::RunJobOr(spec, base_splits, cluster, &candidates, &stats);
     out.report.jobs.push_back(stats);
+    if (!out.status.ok()) return out;
   }
 
   // Driver: pick the best C_root (smallest achieved error, then smaller s).
@@ -333,8 +336,9 @@ DGreedyResult RunDGreedy(const DGreedyContext& ctx,
       }
     };
     mr::JobStats stats;
-    kept = mr::RunJob(spec, base_splits, cluster, &stats);
+    out.status = mr::RunJobOr(spec, base_splits, cluster, &kept, &stats);
     out.report.jobs.push_back(stats);
+    if (!out.status.ok()) return out;
   }
 
   // Add the retained root sub-tree coefficients (the size-best_s suffix of

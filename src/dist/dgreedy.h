@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.h"
 #include "mr/cluster.h"
 #include "wavelet/synopsis.h"
 
@@ -51,6 +52,10 @@ struct DGreedyResult {
   double estimated_error = 0.0;
   int64_t best_croot_size = 0;
   mr::SimReport report;
+  // Non-OK when a job died (retry exhaustion under fault injection, or an
+  // invalid cluster config); names the failing job. The synopsis is then
+  // unusable and `report` covers only the jobs that completed.
+  Status status;
 };
 
 // Maximum absolute error variant.

@@ -6,6 +6,7 @@
 #include "common/audit.h"
 #include "common/bits.h"
 #include "common/check.h"
+#include "common/status.h"
 #include "dist/dcon.h"
 #include "dist/dmin_haar_space.h"
 #include "dist/tree_partition.h"
@@ -32,9 +33,9 @@ void AuditSearchResult(const std::vector<double>& data, int64_t budget,
 // Job computing e_l: every worker emits its largest local coefficient
 // magnitudes (at most B+1 of them); the reducer merges them with the root
 // sub-tree coefficients built from the slice averages (Algorithm 2 line 2).
-double LowerBoundJob(const std::vector<double>& data, int64_t budget,
+Status LowerBoundJob(const std::vector<double>& data, int64_t budget,
                      int64_t base_leaves, const mr::ClusterConfig& cluster,
-                     mr::SimReport* report) {
+                     mr::SimReport* report, double* e_l) {
   const int64_t n = static_cast<int64_t>(data.size());
   const TreePartition partition = MakeTreePartition(n, base_leaves);
   std::vector<double> averages(static_cast<size_t>(partition.num_base), 0.0);
@@ -72,22 +73,28 @@ double LowerBoundJob(const std::vector<double>& data, int64_t budget,
     splits[static_cast<size_t>(t)] = t;
   }
   mr::JobStats stats;
-  mr::RunJob(spec, splits, cluster, &stats);
+  std::vector<int64_t> unused;
+  const Status status = mr::RunJobOr(spec, splits, cluster, &unused, &stats);
   report->jobs.push_back(stats);
+  DWM_RETURN_NOT_OK(status);
 
   for (double c : ForwardHaar(averages)) magnitudes.push_back(std::abs(c));
-  if (budget >= static_cast<int64_t>(magnitudes.size())) return 0.0;
-  std::nth_element(magnitudes.begin(), magnitudes.begin() + budget,
-                   magnitudes.end(), std::greater<double>());
-  return magnitudes[static_cast<size_t>(budget)];
+  *e_l = 0.0;
+  if (budget < static_cast<int64_t>(magnitudes.size())) {
+    std::nth_element(magnitudes.begin(), magnitudes.begin() + budget,
+                     magnitudes.end(), std::greater<double>());
+    *e_l = magnitudes[static_cast<size_t>(budget)];
+  }
+  return Status::OK();
 }
 
 // Job computing the exact max_abs of a broadcast synopsis: every worker
 // reconstructs its aligned slice locally (Algorithm 2 line 1's bottom-up
 // max_abs computation with the B-term synopsis in memory).
-double MaxAbsJob(const std::vector<double>& data, const Synopsis& synopsis,
+Status MaxAbsJob(const std::vector<double>& data, const Synopsis& synopsis,
                  int64_t base_leaves, const mr::ClusterConfig& cluster,
-                 const std::string& name, mr::SimReport* report) {
+                 const std::string& name, mr::SimReport* report,
+                 double* out_max) {
   const int64_t n = static_cast<int64_t>(data.size());
   double global_max = 0.0;
   mr::JobSpec<int64_t, int64_t, double, int64_t> spec;
@@ -116,9 +123,12 @@ double MaxAbsJob(const std::vector<double>& data, const Synopsis& synopsis,
     splits[t] = static_cast<int64_t>(t);
   }
   mr::JobStats stats;
-  mr::RunJob(spec, splits, cluster, &stats);
+  std::vector<int64_t> unused;
+  const Status status = mr::RunJobOr(spec, splits, cluster, &unused, &stats);
   report->jobs.push_back(stats);
-  return global_max;
+  DWM_RETURN_NOT_OK(status);
+  *out_max = global_max;
+  return Status::OK();
 }
 
 }  // namespace
@@ -137,11 +147,19 @@ DIndirectHaarResult DIndirectHaar(const std::vector<double>& data,
   // Line 1: e_u via the conventional synopsis (CON) plus an evaluation job.
   DistSynopsisResult con = RunCon(data, options.budget, base_leaves, cluster);
   for (const auto& job : con.report.jobs) out.report.jobs.push_back(job);
-  const double e_u = MaxAbsJob(data, con.synopsis, base_leaves, cluster,
-                               "dih_upper_bound", &out.report);
+  if (!con.status.ok()) {
+    out.status = con.status;
+    return out;
+  }
+  double e_u = 0.0;
+  out.status = MaxAbsJob(data, con.synopsis, base_leaves, cluster,
+                         "dih_upper_bound", &out.report, &e_u);
+  if (!out.status.ok()) return out;
   // Line 2: e_l, the (B+1)-largest coefficient.
-  const double e_l =
-      LowerBoundJob(data, options.budget, base_leaves, cluster, &out.report);
+  double e_l = 0.0;
+  out.status = LowerBoundJob(data, options.budget, base_leaves, cluster,
+                             &out.report, &e_l);
+  if (!out.status.ok()) return out;
 
   if (e_u <= 1e-12) {
     out.search.converged = true;
@@ -156,15 +174,24 @@ DIndirectHaarResult DIndirectHaar(const std::vector<double>& data,
   }
 
   Problem2Solver solver = [&](double eps) {
+    // Once a probe job has died, later probes would die identically (fault
+    // decisions are a pure function of job name/task/attempt); answer
+    // "infeasible" without running so the search winds down cheaply.
+    if (!out.status.ok()) return MhsResult{};
     DmhsResult run = DMinHaarSpace(
         data, {eps, options.quantum, options.subtree_inputs}, cluster);
     for (const auto& job : run.report.jobs) out.report.jobs.push_back(job);
     out.report.driver_seconds += run.report.driver_seconds;
+    if (!run.status.ok()) {
+      out.status = run.status;
+      return MhsResult{};
+    }
     return std::move(run.result);
   };
   out.search =
       IndirectHaarSearch(solver, std::min(e_l, e_u), e_u, options.budget,
                          options.quantum, options.max_iterations);
+  if (!out.status.ok()) return out;  // a probe died; the search is unusable
   AuditSearchResult(data, options.budget, out.search);
   return out;
 }

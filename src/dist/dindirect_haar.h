@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/indirect_haar.h"
+#include "common/status.h"
 #include "mr/cluster.h"
 
 namespace dwm {
@@ -24,6 +25,9 @@ struct DIndirectHaarOptions {
 struct DIndirectHaarResult {
   IndirectHaarResult search;
   mr::SimReport report;  // accumulated over every job of every probe
+  // Non-OK when any bound/probe job died (see DistSynopsisResult::status);
+  // the search result is then meaningless.
+  Status status;
 };
 
 DIndirectHaarResult DIndirectHaar(const std::vector<double>& data,

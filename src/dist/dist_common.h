@@ -6,6 +6,7 @@
 #include <queue>
 #include <vector>
 
+#include "common/status.h"
 #include "mr/cluster.h"
 #include "wavelet/haar.h"
 #include "wavelet/synopsis.h"
@@ -13,10 +14,14 @@
 namespace dwm {
 
 // Outcome of a distributed synopsis construction: the synopsis plus the
-// simulated-cluster execution report.
+// simulated-cluster execution report. When `status` is non-OK (a job
+// exhausted its task retries under fault injection, or the cluster config
+// was invalid), the synopsis is unusable and `report` covers only the jobs
+// that ran before the failure — the message names the job that died.
 struct DistSynopsisResult {
   Synopsis synopsis;
   mr::SimReport report;
+  Status status;
 };
 
 namespace dist_internal {

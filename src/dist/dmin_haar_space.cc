@@ -125,8 +125,10 @@ DmhsResult DMinHaarSpace(const std::vector<double>& data,
       }
     };
     mr::JobStats stats;
-    mr::RunJob(spec, splits, cluster, &stats);
+    std::vector<int64_t> unused;
+    out.status = mr::RunJobOr(spec, splits, cluster, &unused, &stats);
     out.report.jobs.push_back(stats);
+    if (!out.status.ok()) return out;
   }
 
   // ---------------- Driver: choose c_0 from the row of c_1. ----------------
@@ -262,8 +264,10 @@ DmhsResult DMinHaarSpace(const std::vector<double>& data,
       }
     };
     mr::JobStats stats;
-    mr::RunJob(spec, splits, cluster, &stats);
+    std::vector<int64_t> unused;
+    out.status = mr::RunJobOr(spec, splits, cluster, &unused, &stats);
     out.report.jobs.push_back(stats);
+    if (!out.status.ok()) return out;
     assignments = std::move(next_assignments);
   }
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/min_haar_space.h"
+#include "common/status.h"
 #include "mr/cluster.h"
 
 namespace dwm {
@@ -28,6 +29,9 @@ struct DmhsOptions {
 struct DmhsResult {
   MhsResult result;
   mr::SimReport report;
+  // Non-OK when a stage job died (see DistSynopsisResult::status); the
+  // result is then infeasible and `report` covers the completed jobs.
+  Status status;
 };
 
 DmhsResult DMinHaarSpace(const std::vector<double>& data,

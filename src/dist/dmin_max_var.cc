@@ -91,8 +91,10 @@ DMinMaxVarResult DMinMaxVar(const std::vector<double>& data,
       base_rows[static_cast<size_t>(t)] = std::move(values[0].second);
     };
     mr::JobStats stats;
-    mr::RunJob(spec, base_splits, cluster, &stats);
+    std::vector<int64_t> unused;
+    out.status = mr::RunJobOr(spec, base_splits, cluster, &unused, &stats);
     out.report.jobs.push_back(stats);
+    if (!out.status.ok()) return out;
   }
 
   // ---- Driver (the topmost sub-tree, Algorithm 1 line 11): combine the
@@ -192,9 +194,10 @@ DMinMaxVarResult DMinMaxVar(const std::vector<double>& data,
       }
     };
     mr::JobStats stats;
-    const std::vector<Coefficient> base_kept =
-        mr::RunJob(spec, splits, cluster, &stats);
+    std::vector<Coefficient> base_kept;
+    out.status = mr::RunJobOr(spec, splits, cluster, &base_kept, &stats);
     out.report.jobs.push_back(stats);
+    if (!out.status.ok()) return out;
     kept.insert(kept.end(), base_kept.begin(), base_kept.end());
   }
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/min_max_var.h"
+#include "common/status.h"
 #include "mr/cluster.h"
 
 namespace dwm {
@@ -23,6 +24,9 @@ namespace dwm {
 struct DMinMaxVarResult {
   MinMaxVarResult result;
   mr::SimReport report;
+  // Non-OK when a job died (see DistSynopsisResult::status); the result is
+  // then infeasible and `report` covers the completed jobs.
+  Status status;
 };
 
 // `base_leaves` is the leaves-per-base-sub-tree partition parameter (a

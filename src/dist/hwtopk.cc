@@ -118,7 +118,8 @@ DistSynopsisResult RunHWTopk(const std::vector<double>& data, int64_t budget,
   const double kInf = std::numeric_limits<double>::infinity();
   DistSynopsisResult result;
 
-  auto run_round = [&](const std::string& name, const auto& selector) {
+  auto run_round = [&](const std::string& name,
+                       const auto& selector) -> Status {
     // Key: coefficient index (or -1/-2 for the per-mapper thresholds);
     // value: (mapper id, normalized partial value).
     mr::JobSpec<Split, int64_t, std::pair<int64_t, double>, int64_t> spec;
@@ -145,30 +146,36 @@ DistSynopsisResult RunHWTopk(const std::vector<double>& data, int64_t budget,
       }
     };
     mr::JobStats stats;
-    mr::RunJob(spec, splits, cluster, &stats);
+    std::vector<int64_t> unused;
+    const Status status = mr::RunJobOr(spec, splits, cluster, &unused, &stats);
     result.report.jobs.push_back(stats);
+    return status;
   };
 
   // ---- Round 1: everyone's k highest and k lowest partials. ----
-  run_round("hwtopk_r1", [&](int64_t mapper, auto& partials, const auto& emit) {
-    std::sort(partials.begin(), partials.end(),
-              [](const Partial& a, const Partial& b) { return a.value > b.value; });
-    const int64_t count = static_cast<int64_t>(partials.size());
-    if (count <= 2 * k) {
-      for (const Partial& p : partials) emit(p.node, {mapper, p.value});
-      emit(-1, {mapper, 0.0});  // sent everything: unknown => absent => 0
-      emit(-2, {mapper, 0.0});
-      return;
-    }
-    for (int64_t i = 0; i < k; ++i) {
-      emit(partials[static_cast<size_t>(i)].node,
-           {mapper, partials[static_cast<size_t>(i)].value});
-      emit(partials[static_cast<size_t>(count - 1 - i)].node,
-           {mapper, partials[static_cast<size_t>(count - 1 - i)].value});
-    }
-    emit(-1, {mapper, partials[static_cast<size_t>(k - 1)].value});
-    emit(-2, {mapper, partials[static_cast<size_t>(count - k)].value});
-  });
+  result.status = run_round(
+      "hwtopk_r1", [&](int64_t mapper, auto& partials, const auto& emit) {
+        std::sort(partials.begin(), partials.end(),
+                  [](const Partial& a, const Partial& b) {
+                    return a.value > b.value;
+                  });
+        const int64_t count = static_cast<int64_t>(partials.size());
+        if (count <= 2 * k) {
+          for (const Partial& p : partials) emit(p.node, {mapper, p.value});
+          emit(-1, {mapper, 0.0});  // sent everything: unknown => absent => 0
+          emit(-2, {mapper, 0.0});
+          return;
+        }
+        for (int64_t i = 0; i < k; ++i) {
+          emit(partials[static_cast<size_t>(i)].node,
+               {mapper, partials[static_cast<size_t>(i)].value});
+          emit(partials[static_cast<size_t>(count - 1 - i)].node,
+               {mapper, partials[static_cast<size_t>(count - 1 - i)].value});
+        }
+        emit(-1, {mapper, partials[static_cast<size_t>(k - 1)].value});
+        emit(-2, {mapper, partials[static_cast<size_t>(count - k)].value});
+      });
+  if (!result.status.ok()) return result;
 
   // Which mappers can hold a partial for coefficient x at all: only those
   // whose split intersects x's leaf range. This is static knowledge of the
@@ -234,13 +241,15 @@ DistSynopsisResult RunHWTopk(const std::vector<double>& data, int64_t budget,
   // |v| > T1 (a single-owner coefficient not in the top-k by its owner's
   // value cannot be in the global top-k). ----
   const double threshold_shared = t1 / static_cast<double>(m);
-  run_round("hwtopk_r2", [&](int64_t mapper, auto& partials, const auto& emit) {
-    for (const Partial& p : partials) {
-      if (std::abs(p.value) > (p.exclusive ? t1 : threshold_shared)) {
-        emit(p.node, {mapper, p.value});
-      }
-    }
-  });
+  result.status = run_round(
+      "hwtopk_r2", [&](int64_t mapper, auto& partials, const auto& emit) {
+        for (const Partial& p : partials) {
+          if (std::abs(p.value) > (p.exclusive ? t1 : threshold_shared)) {
+            emit(p.node, {mapper, p.value});
+          }
+        }
+      });
+  if (!result.status.ok()) return result;
 
   // Refine bounds with the round-2 caps, compute T2, prune to L.
   std::vector<double> taus2;
@@ -263,11 +272,13 @@ DistSynopsisResult RunHWTopk(const std::vector<double>& data, int64_t budget,
   }
 
   // ---- Round 3: exact values for every candidate in L. ----
-  run_round("hwtopk_r3", [&](int64_t mapper, auto& partials, const auto& emit) {
-    for (const Partial& p : partials) {
-      if (candidates.count(p.node) != 0) emit(p.node, {mapper, p.value});
-    }
-  });
+  result.status = run_round(
+      "hwtopk_r3", [&](int64_t mapper, auto& partials, const auto& emit) {
+        for (const Partial& p : partials) {
+          if (candidates.count(p.node) != 0) emit(p.node, {mapper, p.value});
+        }
+      });
+  if (!result.status.ok()) return result;
 
   Stopwatch finalize;
   dist_internal::TopBySignificance top(budget);

@@ -76,7 +76,12 @@ DistSynopsisResult RunSendCoef(const std::vector<double>& data, int64_t budget,
 
   DistSynopsisResult result;
   mr::JobStats stats;
-  mr::RunJob(spec, splits, cluster, &stats);
+  std::vector<int64_t> unused;
+  result.status = mr::RunJobOr(spec, splits, cluster, &unused, &stats);
+  if (!result.status.ok()) {
+    result.report.jobs.push_back(stats);
+    return result;
+  }
   Stopwatch finalize;
   result.synopsis = Synopsis(n, top.Take());
   if constexpr (audit::kEnabled) {

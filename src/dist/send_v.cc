@@ -48,7 +48,12 @@ DistSynopsisResult RunSendV(const std::vector<double>& data, int64_t budget,
 
   DistSynopsisResult result;
   mr::JobStats stats;
-  mr::RunJob(spec, splits, cluster, &stats);
+  std::vector<int64_t> unused;
+  result.status = mr::RunJobOr(spec, splits, cluster, &unused, &stats);
+  if (!result.status.ok()) {
+    result.report.jobs.push_back(stats);
+    return result;
+  }
 
   // Reducer cleanup: the full centralized pipeline — this sequential step
   // is exactly why Send-V does not scale (Figure 10).

@@ -1,6 +1,8 @@
 #include "mr/cluster.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <queue>
 #include <thread>
@@ -12,19 +14,115 @@ namespace dwm::mr {
 int ResolveWorkerThreads(int worker_threads) {
   if (worker_threads > 0) return worker_threads;
   if (const char* env = std::getenv("DWM_THREADS")) {
-    const long parsed = std::strtol(env, nullptr, 10);
-    if (parsed > 0) return static_cast<int>(std::min(parsed, 1024L));
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    // Strict: plain base-10 digits only. strtol itself accepts leading
+    // whitespace and a sign, so require the first character to be a digit.
+    const bool consumed =
+        end != env && *end == '\0' && env[0] >= '0' && env[0] <= '9';
+    if (consumed && parsed > 0) {
+      return static_cast<int>(std::min(parsed, 1024L));
+    }
+    if (!consumed || parsed < 0) {
+      // "abc", "-3", "0x10", "16abc": strtol used to misread these as their
+      // numeric prefix (or 0) and silently fall through to auto. Warn once
+      // so a typo'd knob is visible; "0" stays the silent explicit-auto.
+      static std::atomic<bool> warned{false};
+      if (!warned.exchange(true)) {
+        std::fprintf(stderr,
+                     "warning: ignoring malformed DWM_THREADS='%s' "
+                     "(want a positive integer); using auto\n",
+                     env);
+      }
+    }
   }
   const unsigned hardware = std::thread::hardware_concurrency();
   return hardware == 0 ? 1 : static_cast<int>(hardware);
 }
 
+Status ClusterConfig::Validate() const {
+  if (map_slots < 1) {
+    return Status::InvalidArgument("ClusterConfig: map_slots must be >= 1, got " +
+                                   std::to_string(map_slots));
+  }
+  if (reduce_slots < 1) {
+    return Status::InvalidArgument(
+        "ClusterConfig: reduce_slots must be >= 1, got " +
+        std::to_string(reduce_slots));
+  }
+  if (!(network_bytes_per_second > 0.0)) {
+    return Status::InvalidArgument(
+        "ClusterConfig: network_bytes_per_second must be positive, got " +
+        std::to_string(network_bytes_per_second));
+  }
+  if (!(storage_bytes_per_second > 0.0)) {
+    return Status::InvalidArgument(
+        "ClusterConfig: storage_bytes_per_second must be positive, got " +
+        std::to_string(storage_bytes_per_second));
+  }
+  if (!(compute_scale > 0.0)) {
+    return Status::InvalidArgument(
+        "ClusterConfig: compute_scale must be positive, got " +
+        std::to_string(compute_scale));
+  }
+  if (!(task_startup_seconds >= 0.0)) {
+    return Status::InvalidArgument(
+        "ClusterConfig: task_startup_seconds must be >= 0, got " +
+        std::to_string(task_startup_seconds));
+  }
+  if (!(job_overhead_seconds >= 0.0)) {
+    return Status::InvalidArgument(
+        "ClusterConfig: job_overhead_seconds must be >= 0, got " +
+        std::to_string(job_overhead_seconds));
+  }
+  if (max_task_attempts < 1) {
+    return Status::InvalidArgument(
+        "ClusterConfig: max_task_attempts must be >= 1, got " +
+        std::to_string(max_task_attempts));
+  }
+  if (worker_threads < 0) {
+    return Status::InvalidArgument(
+        "ClusterConfig: worker_threads must be >= 0 (0 = auto), got " +
+        std::to_string(worker_threads));
+  }
+  if (!(speculative_slowness_threshold == 0.0 ||
+        speculative_slowness_threshold >= 1.0)) {
+    return Status::InvalidArgument(
+        "ClusterConfig: speculative_slowness_threshold must be 0 (off) or "
+        ">= 1, got " +
+        std::to_string(speculative_slowness_threshold));
+  }
+  return Status::OK();
+}
+
 JobStats RescheduleJob(const JobStats& job, const ClusterConfig& config) {
   JobStats out = job;
-  out.map_makespan_seconds =
-      ScheduleMakespan(job.map_task_seconds, config.map_slots);
-  out.reduce_makespan_seconds =
-      ScheduleMakespan(job.reduce_task_seconds, config.reduce_slots);
+  int64_t backups = 0;
+  const bool has_attempts =
+      !job.map_attempts.empty() || !job.reduce_attempts.empty();
+  if (!job.map_attempts.empty()) {
+    const RecoverySchedule sched = ScheduleMakespanAttempts(
+        job.map_attempts, config.map_slots,
+        config.speculative_slowness_threshold);
+    out.map_makespan_seconds = sched.makespan_seconds;
+    backups += sched.speculative_backups;
+  } else {
+    out.map_makespan_seconds =
+        ScheduleMakespan(job.map_task_seconds, config.map_slots);
+  }
+  if (!job.reduce_attempts.empty()) {
+    const RecoverySchedule sched = ScheduleMakespanAttempts(
+        job.reduce_attempts, config.reduce_slots,
+        config.speculative_slowness_threshold);
+    out.reduce_makespan_seconds = sched.makespan_seconds;
+    backups += sched.speculative_backups;
+  } else {
+    out.reduce_makespan_seconds =
+        ScheduleMakespan(job.reduce_task_seconds, config.reduce_slots);
+  }
+  // Speculative backups are a scheduling decision, so they re-derive with
+  // the new slot counts/threshold (more slots can admit more backups).
+  if (has_attempts) out.speculative_backups = backups;
   // Every config-derived quantity must follow the new config (see the
   // contract in cluster.h); copying the original run's values silently
   // reported stale shuffle/overhead times when rescheduling onto a cluster
@@ -47,7 +145,9 @@ SimReport RescheduleReport(const SimReport& report,
 }
 
 double ScheduleMakespan(const std::vector<double>& task_seconds, int slots) {
-  DWM_CHECK_GE(slots, 1);
+  // Backstop for direct callers; RunJobOr rejects bad slot counts via
+  // ClusterConfig::Validate before any scheduling happens.
+  DWM_CHECK_GE(slots, 1);  // dwm-lint: allow(mr-recoverable-check)
   if (task_seconds.empty()) return 0.0;
   // Min-heap of slot free times.
   std::priority_queue<double, std::vector<double>, std::greater<double>> free_at;
@@ -61,6 +161,59 @@ double ScheduleMakespan(const std::vector<double>& task_seconds, int slots) {
     makespan = std::max(makespan, end);
   }
   return makespan;
+}
+
+RecoverySchedule ScheduleMakespanAttempts(
+    const std::vector<TaskExecution>& tasks, int slots,
+    double slowness_threshold) {
+  // Backstop for direct callers (see ScheduleMakespan).
+  DWM_CHECK_GE(slots, 1);  // dwm-lint: allow(mr-recoverable-check)
+  RecoverySchedule out;
+  if (tasks.empty()) return out;
+  std::priority_queue<double, std::vector<double>, std::greater<double>> free_at;
+  for (int s = 0; s < slots; ++s) free_at.push(0.0);
+  // Speculation needs a second slot for the backup to run on.
+  const bool may_speculate = slowness_threshold >= 1.0 && slots >= 2;
+  for (const TaskExecution& task : tasks) {
+    double ready = 0.0;  // when this task (re)enters the FIFO queue
+    const size_t n = task.attempts.size();
+    for (size_t i = 0; i < n; ++i) {
+      const TaskAttempt& attempt = task.attempts[i];
+      const double seconds = std::max(attempt.seconds, 0.0);
+      double start = std::max(free_at.top(), ready);
+      free_at.pop();
+      // Every non-final attempt is a failure by construction; the final one
+      // is the committed run unless the task exhausted its retries.
+      if (attempt.failed || i + 1 < n) {
+        const double end = start + seconds;
+        free_at.push(end);
+        out.makespan_seconds = std::max(out.makespan_seconds, end);
+        ready = end;  // the failure is observed when the attempt dies
+        continue;
+      }
+      double finish = start + seconds;
+      if (may_speculate && attempt.slowdown > 1.0 &&
+          attempt.slowdown >= slowness_threshold) {
+        // The attempt is declared slow once it has run `threshold x` its
+        // fault-free time; a backup copy launches on the next free slot
+        // and the earliest finish wins (the loser is killed, freeing its
+        // slot at the same instant).
+        const double base = seconds / attempt.slowdown;
+        const double declared = start + base * slowness_threshold;
+        const double backup_start = std::max(free_at.top(), declared);
+        const double backup_finish = backup_start + base;
+        if (backup_finish < finish) {
+          free_at.pop();
+          finish = backup_finish;
+          free_at.push(finish);  // backup's slot
+          ++out.speculative_backups;
+        }
+      }
+      free_at.push(finish);  // original's slot
+      out.makespan_seconds = std::max(out.makespan_seconds, finish);
+    }
+  }
+  return out;
 }
 
 }  // namespace dwm::mr

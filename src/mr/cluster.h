@@ -14,6 +14,9 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
+#include "mr/faults.h"
+
 namespace dwm::mr {
 
 struct ClusterConfig {
@@ -39,15 +42,71 @@ struct ClusterConfig {
   // the cost model's task times stay meaningful even when worker threads
   // oversubscribe the machine's cores.
   int worker_threads = 0;
+  // Hadoop mapreduce.map/reduce.maxattempts: a task may be retried until
+  // this many attempts have failed; one more failure fails the job.
+  int max_task_attempts = 4;
+  // Speculative execution: when a task's final attempt runs slower than
+  // `threshold x` its fault-free time, the scheduler launches a backup copy
+  // on the next free slot; backup and original race and the earliest finish
+  // wins (Hadoop's speculative execution). 0 disables speculation,
+  // matching mapreduce.map/reduce.speculative=false.
+  double speculative_slowness_threshold = 1.5;
+  // Fault injection plan for jobs run under this config. Default-constructed
+  // = inert, falling back to the process-wide DWM_FAULTS environment knob;
+  // FaultPlan::Disabled() suppresses even that (see mr/faults.h).
+  FaultPlan faults;
+
+  // Validates user-settable knobs: slots >= 1, bandwidths and compute_scale
+  // positive, overheads non-negative, max_task_attempts >= 1,
+  // worker_threads >= 0, speculative_slowness_threshold either 0 (off) or
+  // >= 1. RunJobOr calls this and returns the error instead of
+  // CHECK-aborting on a misconfiguration.
+  Status Validate() const;
 };
 
 // Effective engine concurrency for a ClusterConfig::worker_threads value
 // (resolves the 0 = auto case as documented above); always >= 1.
+// DWM_THREADS is parsed strictly: a value that is not a plain base-10
+// positive integer ("abc", "-3", "0x10", "16abc") warns once to stderr and
+// falls back to auto instead of being silently misread; "0" is the
+// documented explicit-auto spelling and stays silent.
 int ResolveWorkerThreads(int worker_threads);
 
 // Completion time of `task_seconds` scheduled FIFO onto `slots` identical
 // slots (each next task starts on the earliest-free slot).
 double ScheduleMakespan(const std::vector<double>& task_seconds, int slots);
+
+// One attempt of one task, as recorded by RunJobOr's attempt loop.
+// `seconds` is the modeled slot occupancy of this attempt: for a failed
+// attempt that is failure_fraction x slowdown x base seconds (the attempt
+// died partway through); for the committed attempt, slowdown x base.
+struct TaskAttempt {
+  double seconds = 0.0;
+  double slowdown = 1.0;  // > 1 means this attempt straggled
+  bool failed = false;
+  bool node_lost = false;  // failed because its simulated node was lost
+};
+
+// Full attempt history of one task; the last attempt is the committed
+// (successful) one unless the task exhausted its retries.
+struct TaskExecution {
+  std::vector<TaskAttempt> attempts;
+};
+
+// Attempt-aware FIFO schedule: each task occupies a slot for every failed
+// attempt (re-queued after the failure is observed), and a final straggling
+// attempt (slowdown >= slowness_threshold, threshold >= 1) gets a
+// speculative backup launched on the next free slot once the original has
+// run past threshold x its fault-free time; backup and original race and
+// the earliest finish wins. Degenerates to ScheduleMakespan for clean
+// single-attempt histories.
+struct RecoverySchedule {
+  double makespan_seconds = 0.0;
+  int64_t speculative_backups = 0;
+};
+RecoverySchedule ScheduleMakespanAttempts(
+    const std::vector<TaskExecution>& tasks, int slots,
+    double slowness_threshold);
 
 // Everything measured/modeled about one MapReduce job.
 struct JobStats {
@@ -65,9 +124,21 @@ struct JobStats {
   double real_seconds = 0.0;  // wall time this process actually spent
   // Per-task times (startup + scaled compute + storage reads) that fed the
   // makespans; kept so a run can be *re-scheduled* onto a different slot
-  // count without re-executing (see RescheduleJob).
+  // count without re-executing (see RescheduleJob). These are the committed
+  // attempts' times (straggler slowdown included).
   std::vector<double> map_task_seconds;
   std::vector<double> reduce_task_seconds;
+  // Per-task attempt histories (empty entries mean a clean one-attempt
+  // run recorded before fault injection existed); RescheduleJob prefers
+  // these so recovery makespans re-derive under new slot counts.
+  std::vector<TaskExecution> map_attempts;
+  std::vector<TaskExecution> reduce_attempts;
+  // Fault/recovery accounting (all zero on a fault-free run).
+  int64_t task_attempts = 0;       // attempts launched, map + reduce
+  int64_t failed_attempts = 0;     // attempts that fail-stopped or were killed
+  int64_t node_loss_kills = 0;     // failed attempts due to node loss
+  int64_t straggler_attempts = 0;  // attempts that ran slowed
+  int64_t speculative_backups = 0; // backup copies the scheduler launched
 
   double sim_seconds() const {
     return map_makespan_seconds + shuffle_seconds + reduce_makespan_seconds +
@@ -103,7 +174,11 @@ struct SimReport {
 // themselves (startup + scaled compute + storage reads) are *not* adjusted:
 // they stay as measured under the original run's task_startup_seconds,
 // compute_scale and storage_bytes_per_second, so reschedule onto configs
-// that differ only in slots, network bandwidth or job overhead.
+// that differ only in slots, network bandwidth or job overhead. When the
+// job carries per-task attempt histories (map_attempts/reduce_attempts),
+// makespans re-derive through the attempt-aware scheduler — failed-attempt
+// occupancy, retry re-queueing and speculative backups are recomputed for
+// the new slot counts and the new config's slowness threshold.
 JobStats RescheduleJob(const JobStats& job, const ClusterConfig& config);
 SimReport RescheduleReport(const SimReport& report,
                            const ClusterConfig& config);

@@ -24,12 +24,27 @@
 //   - per-task compute is charged by a per-thread CPU clock
 //     (ThreadCpuStopwatch), so measured task times stay meaningful when
 //     worker threads oversubscribe the machine's cores.
+//
+// Fault model (mr/faults.h): RunJobOr runs every task through an attempt
+// loop with Hadoop semantics — up to ClusterConfig::max_task_attempts
+// attempts per task, exhaustion fails the *job* with a non-OK Status. Map
+// attempts are genuinely re-executed (maps are pure readers with task-local
+// emit, so a retry reproduces the exact same bytes; DWM_AUDIT verifies
+// this). Reduce attempts are cost-modeled only: the reduce closure runs
+// exactly once, as the committed attempt, because reducers may legitimately
+// accumulate into driver-owned captures (see dcon) and are therefore not
+// idempotent — a deliberate deviation from Hadoop, documented in DESIGN.md.
+// Because the FaultPlan is a pure function and failed map attempts' buffers
+// are discarded, reducer outputs, shuffle bytes, record order and counters
+// (modulo the fault counters) are byte-identical to the fault-free run for
+// any plan that does not exhaust retries.
 #ifndef DWMAXERR_MR_JOB_H_
 #define DWMAXERR_MR_JOB_H_
 
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <functional>
 #include <iterator>
@@ -39,10 +54,12 @@
 
 #include "common/audit.h"
 #include "common/check.h"
+#include "common/status.h"
 #include "common/stopwatch.h"
 #include "mr/bytes.h"
 #include "mr/cluster.h"
 #include "mr/counters.h"
+#include "mr/faults.h"
 #include "mr/thread_pool.h"
 
 namespace dwm::mr {
@@ -69,12 +86,16 @@ template <typename Split, typename K, typename V, typename Out>
 struct JobSpec {
   std::string name;
   // map(task_id, split, emit): called once per split, possibly concurrently
-  // with other tasks — it must not mutate state shared across tasks.
+  // with other tasks — it must not mutate state shared across tasks. Under
+  // fault injection a failed attempt re-runs the closure, so it must also
+  // be idempotent w.r.t. captured state (pure readers always are).
   std::function<void(int64_t, const Split&,
                      const std::function<void(const K&, const V&)>&)>
       map;
   // reduce(key, values, out): called once per distinct key, keys ascending
   // within a reducer; reducers may run concurrently (see the header note).
+  // Never re-executed under fault injection (reduce retries are
+  // cost-modeled only), so accumulating into captures stays safe.
   std::function<void(const K&, std::vector<V>&, std::vector<Out>*)> reduce;
   int num_reducers = 1;
   // reducer index for a key; defaults to hash partitioning. Must be a pure
@@ -94,28 +115,55 @@ struct MapTaskOutput {
   std::vector<ByteBuffer> per_reducer;
   int64_t records = 0;
   double in_bytes = 0.0;
-  double task_seconds = 0.0;
+  double task_seconds = 0.0;  // committed attempt (slowdown applied)
+  TaskExecution execution;    // every attempt, failed ones included
+  bool committed = false;     // false = retries exhausted
 };
+
+inline const char* FailureKind(const TaskAttempt& attempt) {
+  return attempt.node_lost ? "node loss" : "fail-stop";
+}
+
+// Accumulates the fault counters from a phase's attempt histories.
+inline void CountFaultStats(JobStats& stats,
+                            const std::vector<TaskExecution>& tasks) {
+  for (const TaskExecution& task : tasks) {
+    for (const TaskAttempt& attempt : task.attempts) {
+      ++stats.task_attempts;
+      if (attempt.failed) ++stats.failed_attempts;
+      if (attempt.node_lost) ++stats.node_loss_kills;
+      if (attempt.slowdown > 1.0) ++stats.straggler_attempts;
+    }
+  }
+}
 
 }  // namespace job_internal
 
-// Runs the job and returns the concatenated reducer outputs (in reducer
-// order). Fills `stats` (required) and merges per-job counters into
-// `counters` if non-null. Results are byte-identical for every
-// config.worker_threads value.
+// Runs the job and stores the concatenated reducer outputs (in reducer
+// order) into *output. Fills `stats` (required) and merges per-job counters
+// into `counters` if non-null. Results are byte-identical for every
+// config.worker_threads value and every FaultPlan that does not exhaust
+// retries. Returns InvalidArgument if config.Validate() fails and Aborted
+// if any task fails max_task_attempts times; *output is empty on error and
+// `stats` still carries the attempt histories of the doomed run.
 template <typename Split, typename K, typename V, typename Out>
-std::vector<Out> RunJob(const JobSpec<Split, K, V, Out>& spec,
-                        const std::vector<Split>& splits,
-                        const ClusterConfig& config, JobStats* stats,
-                        Counters* counters = nullptr) {
+Status RunJobOr(const JobSpec<Split, K, V, Out>& spec,
+                const std::vector<Split>& splits, const ClusterConfig& config,
+                std::vector<Out>* output, JobStats* stats,
+                Counters* counters = nullptr) {
+  DWM_CHECK(output != nullptr);
   DWM_CHECK(stats != nullptr);
   DWM_CHECK_GE(spec.num_reducers, 1);
+  DWM_RETURN_NOT_OK(config.Validate());
+  const FaultPlan& faults = EffectiveFaultPlan(config.faults);
+  const int max_attempts = config.max_task_attempts;
   const auto key_less = spec.key_less
                             ? spec.key_less
                             : [](const K& a, const K& b) { return a < b; };
   const int num_reducers = spec.num_reducers;
   const int64_t num_map_tasks = static_cast<int64_t>(splits.size());
 
+  output->clear();
   // Reset the stats outright: every field below accumulates with +=, so a
   // JobStats reused across jobs must not carry the previous job's totals.
   *stats = JobStats{};
@@ -132,76 +180,142 @@ std::vector<Out> RunJob(const JobSpec<Split, K, V, Out>& spec,
       std::max<int64_t>({int64_t{1}, num_map_tasks,
                          static_cast<int64_t>(num_reducers)}))));
 
-  // ---- Map phase: concurrent tasks, task-local emit buffers. ----
+  // ---- Map phase: concurrent tasks, task-local emit buffers, Hadoop-style
+  // attempt loop. A failed attempt's buffers are discarded and the map
+  // closure re-runs from scratch, exactly like a Hadoop task retry. ----
   std::vector<job_internal::MapTaskOutput> map_outputs(
       static_cast<size_t>(num_map_tasks));
   pool.ParallelFor(num_map_tasks, [&](int64_t task) {
     const Split& split = splits[static_cast<size_t>(task)];
     job_internal::MapTaskOutput& out =
         map_outputs[static_cast<size_t>(task)];
-    out.per_reducer.resize(static_cast<size_t>(num_reducers));
-    out.in_bytes = spec.split_bytes ? spec.split_bytes(split) : 0.0;
     ByteBuffer key_bytes;  // per-record scratch, reused across emits
-    ThreadCpuStopwatch clock;
-    auto emit = [&](const K& key, const V& value) {
-      // Serialize the key once: the same bytes feed the default
-      // partitioner's hash and the reducer buffer.
-      key_bytes.clear();
-      Serde<K>::Put(key_bytes, key);
-      const int r =
-          spec.partition
-              ? spec.partition(key)
-              : static_cast<int>(FnvHash(key_bytes.data(), key_bytes.size()) %
-                                 static_cast<uint64_t>(num_reducers));
-      DWM_CHECK_GE(r, 0);
-      DWM_CHECK_LT(r, num_reducers);
-      ByteBuffer& buf = out.per_reducer[static_cast<size_t>(r)];
-      const size_t record_start = buf.size();
-      buf.PutRaw(key_bytes.data(), key_bytes.size());
-      const size_t value_start = buf.size();
-      Serde<V>::Put(buf, value);
-      if constexpr (audit::kEnabled) {
-        // Partitioner stability: a second evaluation must route the same
-        // key to the same reducer (and the optimized default path must
-        // agree with the public HashPartition).
-        if (spec.partition) {
-          DWM_AUDIT_CHECK(spec.partition(key) == r);
-        } else {
-          DWM_AUDIT_CHECK(HashPartition<K>(key, num_reducers) == r);
+    // Under DWM_AUDIT a failed attempt's buffers are kept so the retry can
+    // be byte-compared against them: re-execution must be a pure replay.
+    [[maybe_unused]] std::vector<ByteBuffer> audit_prev_attempt;
+    [[maybe_unused]] bool audit_have_prev = false;
+    for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+      const FaultDecision fate =
+          faults.Decide(spec.name, TaskPhase::kMap, task, attempt);
+      out.per_reducer.clear();
+      out.per_reducer.resize(static_cast<size_t>(num_reducers));
+      out.records = 0;
+      out.in_bytes = spec.split_bytes ? spec.split_bytes(split) : 0.0;
+      ThreadCpuStopwatch clock;
+      auto emit = [&](const K& key, const V& value) {
+        // Serialize the key once: the same bytes feed the default
+        // partitioner's hash and the reducer buffer.
+        key_bytes.clear();
+        Serde<K>::Put(key_bytes, key);
+        const int r =
+            spec.partition
+                ? spec.partition(key)
+                : static_cast<int>(
+                      FnvHash(key_bytes.data(), key_bytes.size()) %
+                      static_cast<uint64_t>(num_reducers));
+        DWM_CHECK_GE(r, 0);
+        DWM_CHECK_LT(r, num_reducers);
+        ByteBuffer& buf = out.per_reducer[static_cast<size_t>(r)];
+        const size_t record_start = buf.size();
+        buf.PutRaw(key_bytes.data(), key_bytes.size());
+        const size_t value_start = buf.size();
+        Serde<V>::Put(buf, value);
+        if constexpr (audit::kEnabled) {
+          // Partitioner stability: a second evaluation must route the same
+          // key to the same reducer (and the optimized default path must
+          // agree with the public HashPartition).
+          if (spec.partition) {
+            DWM_AUDIT_CHECK(spec.partition(key) == r);
+          } else {
+            DWM_AUDIT_CHECK(HashPartition<K>(key, num_reducers) == r);
+          }
+          // Serde round-trip self-verification on the record just written:
+          // Get must consume exactly the bytes Put produced for the key and
+          // for the value, and re-encoding the decoded pair must reproduce
+          // the same bytes. Runs on the worker thread over task-local
+          // buffers, so it stays race-free under the concurrent executor.
+          const size_t record_size = buf.size() - record_start;
+          ByteReader reader(buf.data() + record_start, record_size);
+          const K decoded_key = Serde<K>::Get(reader);
+          DWM_AUDIT_CHECK(record_size - reader.remaining() ==
+                          value_start - record_start);
+          const V decoded_value = Serde<V>::Get(reader);
+          DWM_AUDIT_CHECK(reader.Done());
+          ByteBuffer reencoded;
+          Serde<K>::Put(reencoded, decoded_key);
+          Serde<V>::Put(reencoded, decoded_value);
+          DWM_AUDIT_CHECK(reencoded.size() == record_size);
+          DWM_AUDIT_CHECK(std::memcmp(reencoded.data(),
+                                      buf.data() + record_start,
+                                      record_size) == 0);
         }
-        // Serde round-trip self-verification on the record just written:
-        // Get must consume exactly the bytes Put produced for the key and
-        // for the value, and re-encoding the decoded pair must reproduce
-        // the same bytes. Runs on the worker thread over task-local
-        // buffers, so it stays race-free under the concurrent executor.
-        const size_t record_size = buf.size() - record_start;
-        ByteReader reader(buf.data() + record_start, record_size);
-        const K decoded_key = Serde<K>::Get(reader);
-        DWM_AUDIT_CHECK(record_size - reader.remaining() ==
-                        value_start - record_start);
-        const V decoded_value = Serde<V>::Get(reader);
-        DWM_AUDIT_CHECK(reader.Done());
-        ByteBuffer reencoded;
-        Serde<K>::Put(reencoded, decoded_key);
-        Serde<V>::Put(reencoded, decoded_value);
-        DWM_AUDIT_CHECK(reencoded.size() == record_size);
-        DWM_AUDIT_CHECK(std::memcmp(reencoded.data(),
-                                    buf.data() + record_start,
-                                    record_size) == 0);
+        ++out.records;
+      };
+      spec.map(task, split, emit);
+      const double base_seconds =
+          clock.ElapsedSeconds() * config.compute_scale +
+          config.task_startup_seconds +
+          out.in_bytes / config.storage_bytes_per_second;
+      TaskAttempt record;
+      record.slowdown = fate.slowdown;
+      record.failed = fate.failed();
+      record.node_lost = fate.node_lost;
+      record.seconds = base_seconds * fate.slowdown *
+                       (fate.failed() ? fate.failure_fraction : 1.0);
+      out.execution.attempts.push_back(record);
+      if (fate.failed()) {
+        if constexpr (audit::kEnabled) {
+          audit_prev_attempt = std::move(out.per_reducer);
+          audit_have_prev = true;
+        }
+        continue;  // discard this attempt's output; re-queue the task
       }
-      ++out.records;
-    };
-    spec.map(task, split, emit);
-    out.task_seconds = clock.ElapsedSeconds() * config.compute_scale +
-                       config.task_startup_seconds +
-                       out.in_bytes / config.storage_bytes_per_second;
+      if constexpr (audit::kEnabled) {
+        // Retry determinism: the re-executed attempt must reproduce the
+        // failed attempt's bytes exactly (maps are pure functions of their
+        // split). This is the mechanism behind the byte-identical-under-
+        // faults invariant.
+        if (audit_have_prev) {
+          DWM_AUDIT_CHECK(audit_prev_attempt.size() == out.per_reducer.size());
+          for (size_t r = 0; r < out.per_reducer.size(); ++r) {
+            DWM_AUDIT_CHECK(audit_prev_attempt[r].size() ==
+                            out.per_reducer[r].size());
+            DWM_AUDIT_CHECK(std::memcmp(audit_prev_attempt[r].data(),
+                                        out.per_reducer[r].data(),
+                                        out.per_reducer[r].size()) == 0);
+          }
+        }
+      }
+      out.task_seconds = record.seconds;
+      out.committed = true;
+      break;
+    }
   });
+
+  // Surface retry exhaustion as a job failure (Hadoop: one task exceeding
+  // maxattempts fails the job). Deterministic: the lowest-indexed doomed
+  // task is reported regardless of execution interleaving.
+  for (int64_t task = 0; task < num_map_tasks; ++task) {
+    job_internal::MapTaskOutput& out = map_outputs[static_cast<size_t>(task)];
+    if (out.committed) continue;
+    for (job_internal::MapTaskOutput& o : map_outputs) {
+      stats->map_attempts.push_back(std::move(o.execution));
+    }
+    job_internal::CountFaultStats(*stats, stats->map_attempts);
+    const TaskAttempt& last = stats->map_attempts[static_cast<size_t>(task)]
+                                  .attempts.back();
+    return Status::Aborted(
+        "job '" + spec.name + "': map task " + std::to_string(task) +
+        " failed permanently after " + std::to_string(max_attempts) +
+        " attempts (last failure: " + job_internal::FailureKind(last) + ")");
+  }
 
   // ---- Shuffle merge: driver-side, in task order, so the per-reducer
   // frames are byte-identical to a sequential execution. ----
   std::vector<ByteBuffer> shuffle(static_cast<size_t>(num_reducers));
   std::vector<double> map_seconds;
   map_seconds.reserve(static_cast<size_t>(num_map_tasks));
+  stats->map_attempts.reserve(static_cast<size_t>(num_map_tasks));
   int64_t shuffle_records = 0;
   double input_bytes = 0.0;  // in double: int64 truncation per split would
                              // under-count by up to a byte per task
@@ -209,6 +323,7 @@ std::vector<Out> RunJob(const JobSpec<Split, K, V, Out>& spec,
     input_bytes += out.in_bytes;
     shuffle_records += out.records;
     map_seconds.push_back(out.task_seconds);
+    stats->map_attempts.push_back(std::move(out.execution));
     for (int r = 0; r < num_reducers; ++r) {
       const ByteBuffer& buf = out.per_reducer[static_cast<size_t>(r)];
       if (buf.size() != 0) {
@@ -227,10 +342,62 @@ std::vector<Out> RunJob(const JobSpec<Split, K, V, Out>& spec,
   stats->shuffle_bytes = shuffle_bytes;
   stats->shuffle_records = shuffle_records;
 
-  // ---- Reduce phase: concurrent reducers, per-reducer output vectors. ----
+  // ---- Reduce phase. Attempt chains are decided up front (they are a pure
+  // function of the plan, independent of execution): failed attempts are
+  // cost-modeled only, and the closure runs exactly once as the committed
+  // attempt — reducers may accumulate into driver captures and cannot be
+  // replayed (see the header note). A task whose whole chain fails aborts
+  // the job *before* any reducer runs, so doomed jobs never leak partial
+  // reducer side effects. ----
+  std::vector<std::vector<FaultDecision>> reduce_failures(
+      static_cast<size_t>(num_reducers));
+  std::vector<FaultDecision> reduce_committed(
+      static_cast<size_t>(num_reducers));
+  for (int r = 0; r < num_reducers; ++r) {
+    bool committed = false;
+    for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+      const FaultDecision fate =
+          faults.Decide(spec.name, TaskPhase::kReduce, r, attempt);
+      if (fate.failed()) {
+        reduce_failures[static_cast<size_t>(r)].push_back(fate);
+      } else {
+        reduce_committed[static_cast<size_t>(r)] = fate;
+        committed = true;
+        break;
+      }
+    }
+    if (!committed) {
+      // Record the doomed chains (seconds unknown — the closures never
+      // ran), then fail the job.
+      stats->reduce_attempts.resize(static_cast<size_t>(num_reducers));
+      for (int t = 0; t < num_reducers; ++t) {
+        for (const FaultDecision& fate :
+             reduce_failures[static_cast<size_t>(t)]) {
+          TaskAttempt record;
+          record.slowdown = fate.slowdown;
+          record.failed = true;
+          record.node_lost = fate.node_lost;
+          stats->reduce_attempts[static_cast<size_t>(t)].attempts.push_back(
+              record);
+        }
+      }
+      job_internal::CountFaultStats(*stats, stats->map_attempts);
+      job_internal::CountFaultStats(*stats, stats->reduce_attempts);
+      const TaskAttempt& last =
+          stats->reduce_attempts[static_cast<size_t>(r)].attempts.back();
+      return Status::Aborted(
+          "job '" + spec.name + "': reduce task " + std::to_string(r) +
+          " failed permanently after " + std::to_string(max_attempts) +
+          " attempts (last failure: " + job_internal::FailureKind(last) +
+          ")");
+    }
+  }
+
   std::vector<std::vector<Out>> reducer_outputs(
       static_cast<size_t>(num_reducers));
   std::vector<double> reduce_seconds(static_cast<size_t>(num_reducers), 0.0);
+  stats->reduce_attempts.assign(static_cast<size_t>(num_reducers),
+                                TaskExecution{});
   pool.ParallelFor(num_reducers, [&](int64_t r) {
     ThreadCpuStopwatch clock;
     ByteReader reader(shuffle[static_cast<size_t>(r)]);
@@ -259,28 +426,59 @@ std::vector<Out> RunJob(const JobSpec<Split, K, V, Out>& spec,
       spec.reduce(pairs[i].first, values, out);
       i = j;
     }
-    reduce_seconds[static_cast<size_t>(r)] =
-        clock.ElapsedSeconds() * config.compute_scale +
-        config.task_startup_seconds;
+    const double base_seconds = clock.ElapsedSeconds() * config.compute_scale +
+                                config.task_startup_seconds;
+    // Materialize the attempt chain now that the base time is measured:
+    // every failed attempt is charged its failure fraction of its own
+    // (possibly slowed) runtime, the committed attempt its full runtime.
+    TaskExecution& exec = stats->reduce_attempts[static_cast<size_t>(r)];
+    for (const FaultDecision& fate : reduce_failures[static_cast<size_t>(r)]) {
+      TaskAttempt record;
+      record.slowdown = fate.slowdown;
+      record.failed = true;
+      record.node_lost = fate.node_lost;
+      record.seconds = base_seconds * fate.slowdown * fate.failure_fraction;
+      exec.attempts.push_back(record);
+    }
+    const FaultDecision& fate = reduce_committed[static_cast<size_t>(r)];
+    TaskAttempt record;
+    record.slowdown = fate.slowdown;
+    record.seconds = base_seconds * fate.slowdown;
+    exec.attempts.push_back(record);
+    reduce_seconds[static_cast<size_t>(r)] = record.seconds;
   });
 
   // Concatenate in reducer order (identical to the sequential run).
-  std::vector<Out> output;
   size_t total_outputs = 0;
   for (const std::vector<Out>& part : reducer_outputs) {
     total_outputs += part.size();
   }
-  output.reserve(total_outputs);
+  output->reserve(total_outputs);
   for (std::vector<Out>& part : reducer_outputs) {
-    std::move(part.begin(), part.end(), std::back_inserter(output));
+    std::move(part.begin(), part.end(), std::back_inserter(*output));
   }
-  stats->output_records = static_cast<int64_t>(output.size());
+  stats->output_records = static_cast<int64_t>(output->size());
 
-  stats->map_makespan_seconds = ScheduleMakespan(map_seconds, config.map_slots);
+  const RecoverySchedule map_sched =
+      ScheduleMakespanAttempts(stats->map_attempts, config.map_slots,
+                               config.speculative_slowness_threshold);
+  const RecoverySchedule reduce_sched =
+      ScheduleMakespanAttempts(stats->reduce_attempts, config.reduce_slots,
+                               config.speculative_slowness_threshold);
+  stats->map_makespan_seconds = map_sched.makespan_seconds;
   stats->shuffle_seconds =
       static_cast<double>(shuffle_bytes) / config.network_bytes_per_second;
-  stats->reduce_makespan_seconds =
-      ScheduleMakespan(reduce_seconds, config.reduce_slots);
+  stats->reduce_makespan_seconds = reduce_sched.makespan_seconds;
+  stats->speculative_backups =
+      map_sched.speculative_backups + reduce_sched.speculative_backups;
+  // Fault accounting stays all-zero on a fault-free run (the JobStats
+  // contract): a clean task_attempts == tasks tally would read as one
+  // retry-free attempt per task, but it would also make fault-free stats
+  // differ from pre-fault-model stats for no information gain.
+  if (faults.active()) {
+    job_internal::CountFaultStats(*stats, stats->map_attempts);
+    job_internal::CountFaultStats(*stats, stats->reduce_attempts);
+  }
   stats->map_task_seconds = std::move(map_seconds);
   stats->reduce_task_seconds = std::move(reduce_seconds);
   stats->real_seconds = total_clock.ElapsedSeconds();
@@ -289,7 +487,40 @@ std::vector<Out> RunJob(const JobSpec<Split, K, V, Out>& spec,
     counters->Add(spec.name + ".shuffle_bytes", shuffle_bytes);
     counters->Add(spec.name + ".shuffle_records", shuffle_records);
     counters->Add(spec.name + ".map_tasks", stats->map_tasks);
+    if (faults.active()) {
+      // Fault accounting keys exist only when a plan is active, so a
+      // faulted run's counters equal the fault-free run's modulo exactly
+      // these names (the invariant the tests pin).
+      counters->Add(spec.name + ".task_attempts", stats->task_attempts);
+      counters->Add(spec.name + ".failed_attempts", stats->failed_attempts);
+      counters->Add(spec.name + ".node_loss_kills", stats->node_loss_kills);
+      counters->Add(spec.name + ".straggler_attempts",
+                    stats->straggler_attempts);
+      counters->Add(spec.name + ".speculative_backups",
+                    stats->speculative_backups);
+    }
   }
+  return Status::OK();
+}
+
+// Fault-free-caller convenience wrapper: same contract as RunJobOr but
+// returns the outputs directly and treats any error as fatal (the
+// pre-fault-model behavior). Callers that configure fault injection or
+// user-supplied cluster configs should use RunJobOr and handle the Status.
+template <typename Split, typename K, typename V, typename Out>
+std::vector<Out> RunJob(const JobSpec<Split, K, V, Out>& spec,
+                        const std::vector<Split>& splits,
+                        const ClusterConfig& config, JobStats* stats,
+                        Counters* counters = nullptr) {
+  std::vector<Out> output;
+  const Status status = RunJobOr(spec, splits, config, &output, stats, counters);
+  if (!status.ok()) {
+    std::fprintf(stderr, "RunJob '%s': %s\n", spec.name.c_str(),
+                 status.ToString().c_str());
+  }
+  // Aborting is this wrapper's documented contract, not a recoverable
+  // path: callers that want the Status use RunJobOr.
+  DWM_CHECK(status.ok());  // dwm-lint: allow(mr-recoverable-check)
   return output;
 }
 

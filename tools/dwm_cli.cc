@@ -8,7 +8,7 @@
 //                 [--quantum Q] --output synopsis.dwm
 //   dwm_cli dbuild --input data.bin --algo dgreedy-abs|dgreedy-rel|dcon|
 //                 send-v|send-coef --budget B [--base-leaves L] [--sanity S]
-//                 [--threads T] --output synopsis.dwm
+//                 [--threads T] [--faults seed[:k=v,...]] --output synopsis.dwm
 //   dwm_cli info  --synopsis synopsis.dwm
 //   dwm_cli point --synopsis synopsis.dwm --index I
 //   dwm_cli sum   --synopsis synopsis.dwm --from A --to B
@@ -36,6 +36,7 @@
 #include "dist/send_coef.h"
 #include "dist/send_v.h"
 #include "mr/cluster.h"
+#include "mr/faults.h"
 #include "wavelet/haar.h"
 #include "wavelet/metrics.h"
 
@@ -179,6 +180,10 @@ int CmdBuild(const Flags& flags) {
 // Distributed construction on the simulated cluster. --threads sets the
 // engine's real worker-thread count (0 = auto: DWM_THREADS env, then
 // hardware concurrency); results are byte-identical at any setting.
+// --faults seed[:k=v,...] injects deterministic failures/stragglers/node
+// loss (same format as the DWM_FAULTS env knob; see src/mr/faults.h) —
+// results stay byte-identical unless a task exhausts its retries, in which
+// case dbuild reports the job that died and exits nonzero.
 int CmdDBuild(const Flags& flags) {
   std::vector<double> data = LoadData(Require(flags, "input"));
   const int64_t original = dwm::PadToPowerOfTwo(&data);
@@ -190,9 +195,19 @@ int CmdDBuild(const Flags& flags) {
   dwm::mr::ClusterConfig cluster;
   cluster.worker_threads = static_cast<int>(
       std::strtol(Optional(flags, "threads", "0").c_str(), nullptr, 10));
+  const std::string faults_text = Optional(flags, "faults", "");
+  if (!faults_text.empty()) {
+    const dwm::Status parsed =
+        dwm::mr::FaultPlan::Parse(faults_text, &cluster.faults);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "--faults: %s\n", parsed.ToString().c_str());
+      return 2;
+    }
+  }
 
   dwm::Synopsis synopsis;
   dwm::mr::SimReport report;
+  dwm::Status job_status;
   if (algo == "dgreedy-abs" || algo == "dgreedy-rel") {
     dwm::DGreedyOptions options;
     options.budget = budget;
@@ -202,23 +217,34 @@ int CmdDBuild(const Flags& flags) {
                                : dwm::DGreedyRel(data, options, sanity, cluster);
     synopsis = std::move(r.synopsis);
     report = std::move(r.report);
+    job_status = r.status;
   } else if (algo == "dcon") {
     dwm::DistSynopsisResult r = dwm::RunCon(data, budget, base_leaves, cluster);
     synopsis = std::move(r.synopsis);
     report = std::move(r.report);
+    job_status = r.status;
   } else if (algo == "send-v") {
     dwm::DistSynopsisResult r =
         dwm::RunSendV(data, budget, base_leaves, cluster);
     synopsis = std::move(r.synopsis);
     report = std::move(r.report);
+    job_status = r.status;
   } else if (algo == "send-coef") {
     dwm::DistSynopsisResult r =
         dwm::RunSendCoef(data, budget, base_leaves, cluster);
     synopsis = std::move(r.synopsis);
     report = std::move(r.report);
+    job_status = r.status;
   } else {
     std::fprintf(stderr, "unknown distributed algorithm: %s\n", algo.c_str());
     return 2;
+  }
+  if (!job_status.ok()) {
+    std::fprintf(stderr, "dbuild failed after %lld completed jobs: %s\n",
+                 static_cast<long long>(
+                     std::max<int64_t>(report.total_jobs() - 1, 0)),
+                 job_status.ToString().c_str());
+    return 1;
   }
   const dwm::Status status =
       dwm::WriteSynopsis(Require(flags, "output"), synopsis);
@@ -239,6 +265,23 @@ int CmdDBuild(const Flags& flags) {
       static_cast<long long>(report.total_shuffle_bytes()),
       report.total_sim_seconds(),
       dwm::mr::ResolveWorkerThreads(cluster.worker_threads));
+  const dwm::mr::FaultPlan& plan = dwm::mr::EffectiveFaultPlan(cluster.faults);
+  if (plan.active()) {
+    int64_t attempts = 0;
+    int64_t failed = 0;
+    int64_t backups = 0;
+    for (const dwm::mr::JobStats& job : report.jobs) {
+      attempts += job.task_attempts;
+      failed += job.failed_attempts;
+      backups += job.speculative_backups;
+    }
+    std::printf(
+        "faults     : seed %llu, %lld task attempts (%lld failed, "
+        "%lld speculative backups)\n",
+        static_cast<unsigned long long>(plan.seed()),
+        static_cast<long long>(attempts), static_cast<long long>(failed),
+        static_cast<long long>(backups));
+  }
   return 0;
 }
 
