@@ -81,6 +81,9 @@ int main() {
       if (slots == 10) tasks10.push_back(TaskMakespanSum(rescheduled));
     }
     std::printf(" %-12.2f\n", speedups.back());
+    dwm::bench::MaybeWriteTrace("fig5c_lg" + std::to_string(lg), r.report,
+                                dwm::bench::PaperCluster(40, 4));
+    if (lg == log2_max) dwm::bench::PrintRunMetrics("dgreedyabs", r.report);
   }
 
   const double growth = sim40.back() / sim40[1];

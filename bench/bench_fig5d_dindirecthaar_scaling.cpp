@@ -58,6 +58,9 @@ int main() {
       if (slots == 40) sim40.push_back(sim);
     }
     std::printf("\n");
+    dwm::bench::MaybeWriteTrace("fig5d_lg" + std::to_string(lg), r.report,
+                                dwm::bench::PaperCluster(40, 1));
+    if (lg == log2_max) dwm::bench::PrintRunMetrics("dindirecthaar", r.report);
   }
 
   dwm::bench::PrintShapeCheck(

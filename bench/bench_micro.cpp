@@ -15,6 +15,7 @@
 #include "dist/dgreedy.h"
 #include "mr/cluster.h"
 #include "mr/faults.h"
+#include "mr/trace.h"
 #include "wavelet/haar.h"
 #include "wavelet/synopsis.h"
 
@@ -163,6 +164,25 @@ BENCHMARK(BM_DGreedyAbsFaults)
     ->Arg(10)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
+
+// Trace construction + Chrome export over a real multi-job report. Tracing
+// is on-demand (the engine records nothing extra), so this is the entire
+// cost of --trace/DWM_TRACE — and the cost when disabled is zero.
+void BM_BuildChromeTrace(benchmark::State& state) {
+  const auto data = Data(1 << 16);
+  dwm::mr::ClusterConfig cluster;
+  dwm::DGreedyOptions options;
+  options.budget = 1 << 9;
+  options.base_leaves = 1 << 10;
+  const dwm::DGreedyResult result = dwm::DGreedyAbs(data, options, cluster);
+  for (auto _ : state) {
+    const dwm::mr::Trace trace = dwm::mr::BuildTrace(result.report, cluster);
+    benchmark::DoNotOptimize(dwm::mr::ChromeTraceJson(trace));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(result.report.jobs.size()));
+}
+BENCHMARK(BM_BuildChromeTrace)->Unit(benchmark::kMicrosecond);
 
 void BM_EnvelopeMerge(benchmark::State& state) {
   dwm::Rng rng(3);

@@ -13,6 +13,10 @@
 //                job (see src/mr/faults.h for the spec grammar). Results
 //                stay byte-identical as long as no task exhausts its
 //                retries; only the modeled makespans move.
+//   DWM_TRACE    path prefix for Chrome trace_event JSON exports: every
+//                MaybeWriteTrace(label, ...) call writes
+//                <prefix>.<label>.json (loads in chrome://tracing). Unset =
+//                no traces, zero overhead.
 #ifndef DWMAXERR_BENCH_BENCH_UTIL_H_
 #define DWMAXERR_BENCH_BENCH_UTIL_H_
 
@@ -24,6 +28,7 @@
 #include "common/stopwatch.h"
 #include "mr/cluster.h"
 #include "mr/faults.h"
+#include "mr/trace.h"
 
 namespace dwm::bench {
 
@@ -109,6 +114,65 @@ double WallSeconds(Fn&& fn) {
   Stopwatch clock;
   fn();
   return clock.ElapsedSeconds();
+}
+
+// Writes <DWM_TRACE>.<label>.json (Chrome trace_event) for `report` when
+// the DWM_TRACE knob is set; no-op (and no trace is even built) otherwise.
+// Returns true if a trace was written.
+inline bool MaybeWriteTrace(const std::string& label,
+                            const mr::SimReport& report,
+                            const mr::ClusterConfig& config) {
+  const char* prefix = std::getenv("DWM_TRACE");
+  if (prefix == nullptr || prefix[0] == '\0') return false;
+  const std::string path = std::string(prefix) + "." + label + ".json";
+  const std::string json = mr::ChromeTraceJson(mr::BuildTrace(report, config));
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: DWM_TRACE: cannot open %s\n", path.c_str());
+    return false;
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != json.size() || !closed) {
+    std::fprintf(stderr, "warning: DWM_TRACE: short write to %s\n",
+                 path.c_str());
+    return false;
+  }
+  std::printf("trace      : wrote %s\n", path.c_str());
+  return true;
+}
+
+// One-line per-run metrics from the trace layer: task-duration percentiles
+// of the dominant (map) phase and the worst reducer-input skew across the
+// run's jobs — the histogram-style numbers the scaling harnesses record
+// next to the simulated job times.
+inline void PrintRunMetrics(const std::string& label,
+                            const mr::SimReport& report) {
+  mr::DurationStats map_stats;
+  double worst_skew = 1.0;
+  int64_t worst_skew_job = -1;
+  std::vector<double> all_map_seconds;
+  for (size_t j = 0; j < report.jobs.size(); ++j) {
+    const mr::JobStats& job = report.jobs[j];
+    all_map_seconds.insert(all_map_seconds.end(), job.map_task_seconds.begin(),
+                           job.map_task_seconds.end());
+    const mr::ReducerSkewStats skew = mr::ReducerSkew(job);
+    if (skew.ratio > worst_skew) {
+      worst_skew = skew.ratio;
+      worst_skew_job = static_cast<int64_t>(j);
+    }
+  }
+  map_stats = mr::TaskDurationStats(all_map_seconds);
+  std::printf(
+      "metrics    : %s map tasks=%lld p50=%.3fs p90=%.3fs p99=%.3fs "
+      "max=%.3fs reducer_skew=%.2f%s%s\n",
+      label.c_str(), static_cast<long long>(map_stats.count),
+      map_stats.p50_seconds, map_stats.p90_seconds, map_stats.p99_seconds,
+      map_stats.max_seconds, worst_skew,
+      worst_skew_job >= 0 ? " in " : "",
+      worst_skew_job >= 0 ? report.jobs[static_cast<size_t>(worst_skew_job)]
+                                .name.c_str()
+                          : "");
 }
 
 }  // namespace dwm::bench

@@ -187,7 +187,7 @@ DGreedyResult RunDGreedy(const DGreedyContext& ctx,
     for (const HeapDiscardEvent& e : events) discard_order.push_back(e.slot);
   }
   const int64_t kmax = std::min<int64_t>(num_base, budget);
-  out.report.driver_seconds += driver_clock.ElapsedSeconds();
+  out.report.AddDriverSpan("genRootSets", driver_clock.ElapsedSeconds());
 
   // ---- Job 2: ErrHistGreedyAbs at level 1, combineResults at level 2
   // (Algorithms 3 and 5). Key: candidate |C_root| = s; values: the base id

@@ -146,7 +146,7 @@ DIndirectHaarResult DIndirectHaar(const std::vector<double>& data,
 
   // Line 1: e_u via the conventional synopsis (CON) plus an evaluation job.
   DistSynopsisResult con = RunCon(data, options.budget, base_leaves, cluster);
-  for (const auto& job : con.report.jobs) out.report.jobs.push_back(job);
+  out.report.Append(con.report);
   if (!con.status.ok()) {
     out.status = con.status;
     return out;
@@ -173,6 +173,7 @@ DIndirectHaarResult DIndirectHaar(const std::vector<double>& data,
     return out;  // delta coarser than the search range (Section 6.2)
   }
 
+  int probe_index = 0;
   Problem2Solver solver = [&](double eps) {
     // Once a probe job has died, later probes would die identically (fault
     // decisions are a pure function of job name/task/attempt); answer
@@ -180,8 +181,12 @@ DIndirectHaarResult DIndirectHaar(const std::vector<double>& data,
     if (!out.status.ok()) return MhsResult{};
     DmhsResult run = DMinHaarSpace(
         data, {eps, options.quantum, options.subtree_inputs}, cluster);
-    for (const auto& job : run.report.jobs) out.report.jobs.push_back(job);
-    out.report.driver_seconds += run.report.driver_seconds;
+    // A zero-length marker span names the binary-search iteration, then the
+    // probe's jobs and driver spans splice in at this point in the pipeline
+    // (probe jobs reuse the dmhs_* names, so the marker is what tells
+    // iterations apart in the trace).
+    out.report.AddDriverSpan("dih_probe" + std::to_string(++probe_index), 0.0);
+    out.report.Append(run.report);
     if (!run.status.ok()) {
       out.status = run.status;
       return MhsResult{};

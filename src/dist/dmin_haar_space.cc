@@ -136,7 +136,7 @@ DmhsResult DMinHaarSpace(const std::vector<double>& data,
   const std::vector<mhs::Row> top_heap = mhs::BuildSubtreeRows(final_rows);
   const mhs::Row& row1 = top_heap[1];
   if (!row1.feasible()) {
-    out.report.driver_seconds = driver_clock.ElapsedSeconds();
+    out.report.AddDriverSpan("choose_c0", driver_clock.ElapsedSeconds());
     return out;
   }
   mhs::Cell best;
@@ -154,7 +154,7 @@ DmhsResult DMinHaarSpace(const std::vector<double>& data,
     }
   }
   if (!best.feasible()) {
-    out.report.driver_seconds = driver_clock.ElapsedSeconds();
+    out.report.AddDriverSpan("choose_c0", driver_clock.ElapsedSeconds());
     return out;
   }
 
@@ -169,7 +169,7 @@ DmhsResult DMinHaarSpace(const std::vector<double>& data,
     DWM_CHECK(root_cell != nullptr && root_cell->feasible());
     if (root_cell->count > 0) assignments[0] = best_z0;
   }
-  out.report.driver_seconds = driver_clock.ElapsedSeconds();
+  out.report.AddDriverSpan("choose_c0", driver_clock.ElapsedSeconds());
 
   // ---------------- Top-down phase: one job per stage. ----------------
   // Note stage (num_stages - 1) was already consumed by the driver when it

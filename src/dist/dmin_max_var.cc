@@ -147,7 +147,7 @@ DMinMaxVarResult DMinMaxVar(const std::vector<double>& data,
                    if (b > 0) assignments[base] = b;
                  });
   }
-  out.report.driver_seconds = driver_clock.ElapsedSeconds();
+  out.report.AddDriverSpan("root_select", driver_clock.ElapsedSeconds());
 
   // ---- Job 2 (top-down re-entry): each assigned base worker recomputes
   // its local DP and materializes its choices. ----

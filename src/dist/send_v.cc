@@ -62,9 +62,9 @@ DistSynopsisResult RunSendV(const std::vector<double>& data, int64_t budget,
   if constexpr (audit::kEnabled) {
     DWM_AUDIT_CHECK(result.synopsis.size() <= budget);
   }
-  stats.reduce_makespan_seconds +=
-      finalize.ElapsedSeconds() * cluster.compute_scale;
   result.report.jobs.push_back(stats);
+  result.report.AddDriverSpan(
+      "sendv_finalize", finalize.ElapsedSeconds() * cluster.compute_scale);
   return result;
 }
 

@@ -5,6 +5,7 @@
 #ifndef DWMAXERR_MR_BYTES_H_
 #define DWMAXERR_MR_BYTES_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <string>
@@ -36,6 +37,13 @@ class ByteBuffer {
   std::vector<uint8_t> data_;
 };
 
+// Bounds-checked reader over a serialized buffer. Shuffle bytes are
+// data-driven input (and, through DWM_AUDIT replay and file-backed tools,
+// potentially corrupt), so a malformed length must not abort the process:
+// an out-of-bounds read instead zero-fills the destination, drains the
+// reader (Done() becomes true, ending any record loop) and latches a
+// failure flag the caller surfaces as a Status (see RunJobOr's reduce
+// deserialization).
 class ByteReader {
  public:
   ByteReader(const uint8_t* data, size_t size)
@@ -44,25 +52,46 @@ class ByteReader {
       : ByteReader(buf.data(), buf.size()) {}
 
   void GetRaw(void* dst, size_t len) {
-    DWM_CHECK_LE(pos_ + len, size_);
+    // `len <= size_ - pos_`, not `pos_ + len <= size_`: the latter wraps
+    // for a corrupt length near SIZE_MAX and reads out of bounds.
+    if (len > size_ - pos_) {
+      // `len` is data-derived on this path and may be absurd (near
+      // SIZE_MAX), so zero-filling all of it could itself overrun a sanely
+      // sized destination; clamp to what this buffer could ever have held.
+      // GetScalar value-initializes, so failed scalar reads still yield 0.
+      std::memset(dst, 0, std::min(len, size_));
+      Invalidate();
+      return;
+    }
     std::memcpy(dst, data_ + pos_, len);
     pos_ += len;
   }
   template <typename T>
   T GetScalar() {
     static_assert(std::is_trivially_copyable_v<T>);
-    T v;
+    T v{};  // stays zero when the read fails short (see GetRaw)
     GetRaw(&v, sizeof(T));
     return v;
   }
 
+  // Marks the stream corrupt: the reader drains (every later Get yields
+  // zero-filled values) and ok() reports the failure.
+  void Invalidate() {
+    pos_ = size_;
+    failed_ = true;
+  }
+
   bool Done() const { return pos_ >= size_; }
+  // False once any read ran past the buffer or a Serde rejected a length
+  // prefix; decoded values from a failed reader are meaningless.
+  bool ok() const { return !failed_; }
   size_t remaining() const { return size_ - pos_; }
 
  private:
   const uint8_t* data_;
   size_t size_;
   size_t pos_;
+  bool failed_ = false;
 };
 
 // Serialization trait; specialize for custom key/value structs.
@@ -91,12 +120,23 @@ struct Serde<double> {
 };
 template <>
 struct Serde<std::string> {
+  // The wire format carries a 32-bit length prefix; a longer string would
+  // have its length silently truncated by the cast, corrupting every record
+  // after it in the shuffle. Emitting such a key/value is a programmer
+  // error, so it aborts rather than producing a bad stream.
+  static constexpr size_t kMaxBytes = UINT32_MAX;
+
   static void Put(ByteBuffer& b, const std::string& v) {
+    DWM_CHECK_LE(v.size(), kMaxBytes);
     b.PutScalar<uint32_t>(static_cast<uint32_t>(v.size()));
     b.PutRaw(v.data(), v.size());
   }
   static std::string Get(ByteReader& r) {
     const uint32_t len = r.GetScalar<uint32_t>();
+    if (len > r.remaining()) {  // corrupt prefix: don't allocate for it
+      r.Invalidate();
+      return std::string();
+    }
     std::string v(len, '\0');
     r.GetRaw(v.data(), len);
     return v;
@@ -123,8 +163,17 @@ struct Serde<std::vector<T>> {
   static std::vector<T> Get(ByteReader& r) {
     const uint64_t n = r.GetScalar<uint64_t>();
     std::vector<T> v;
-    v.reserve(n);
-    for (uint64_t i = 0; i < n; ++i) v.push_back(Serde<T>::Get(r));
+    // Clamp the pre-reservation by the bytes actually left: every element
+    // costs at least one byte, so a corrupt length prefix cannot request an
+    // exabyte allocation before the per-element reads fail. The element
+    // loop stops at the first failed read rather than spinning up to a
+    // bogus 2^64 count.
+    v.reserve(static_cast<size_t>(
+        std::min<uint64_t>(n, static_cast<uint64_t>(r.remaining()))));
+    for (uint64_t i = 0; i < n; ++i) {
+      if (!r.ok()) break;
+      v.push_back(Serde<T>::Get(r));
+    }
     return v;
   }
 };

@@ -165,33 +165,47 @@ double ScheduleMakespan(const std::vector<double>& task_seconds, int slots) {
 
 RecoverySchedule ScheduleMakespanAttempts(
     const std::vector<TaskExecution>& tasks, int slots,
-    double slowness_threshold) {
+    double slowness_threshold, bool record_placements) {
   // Backstop for direct callers (see ScheduleMakespan).
   DWM_CHECK_GE(slots, 1);  // dwm-lint: allow(mr-recoverable-check)
   RecoverySchedule out;
   if (tasks.empty()) return out;
-  std::priority_queue<double, std::vector<double>, std::greater<double>> free_at;
-  for (int s = 0; s < slots; ++s) free_at.push(0.0);
+  // Min-heap of (free time, slot id); the slot id only feeds placement
+  // records — ties keep the same free *time*, so the makespan and backup
+  // decisions are exactly what the slot-anonymous schedule produced.
+  using Slot = std::pair<double, int>;
+  std::priority_queue<Slot, std::vector<Slot>, std::greater<Slot>> free_at;
+  for (int s = 0; s < slots; ++s) free_at.push({0.0, s});
   // Speculation needs a second slot for the backup to run on.
   const bool may_speculate = slowness_threshold >= 1.0 && slots >= 2;
-  for (const TaskExecution& task : tasks) {
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    const TaskExecution& task = tasks[t];
     double ready = 0.0;  // when this task (re)enters the FIFO queue
     const size_t n = task.attempts.size();
     for (size_t i = 0; i < n; ++i) {
       const TaskAttempt& attempt = task.attempts[i];
       const double seconds = std::max(attempt.seconds, 0.0);
-      double start = std::max(free_at.top(), ready);
+      const int slot = free_at.top().second;
+      const double start = std::max(free_at.top().first, ready);
       free_at.pop();
       // Every non-final attempt is a failure by construction; the final one
       // is the committed run unless the task exhausted its retries.
       if (attempt.failed || i + 1 < n) {
         const double end = start + seconds;
-        free_at.push(end);
+        free_at.push({end, slot});
         out.makespan_seconds = std::max(out.makespan_seconds, end);
+        if (record_placements) {
+          out.placements.push_back({static_cast<int64_t>(t),
+                                    static_cast<int>(i) + 1, slot, start, end,
+                                    /*failed=*/true, /*speculative=*/false});
+        }
         ready = end;  // the failure is observed when the attempt dies
         continue;
       }
       double finish = start + seconds;
+      bool backed_up = false;
+      int backup_slot = 0;
+      double backup_start = 0.0;
       if (may_speculate && attempt.slowdown > 1.0 &&
           attempt.slowdown >= slowness_threshold) {
         // The attempt is declared slow once it has run `threshold x` its
@@ -200,17 +214,31 @@ RecoverySchedule ScheduleMakespanAttempts(
         // slot at the same instant).
         const double base = seconds / attempt.slowdown;
         const double declared = start + base * slowness_threshold;
-        const double backup_start = std::max(free_at.top(), declared);
-        const double backup_finish = backup_start + base;
+        const double candidate_start = std::max(free_at.top().first, declared);
+        const double backup_finish = candidate_start + base;
         if (backup_finish < finish) {
+          backup_slot = free_at.top().second;
+          backup_start = candidate_start;
           free_at.pop();
           finish = backup_finish;
-          free_at.push(finish);  // backup's slot
+          free_at.push({finish, backup_slot});  // backup's slot
           ++out.speculative_backups;
+          backed_up = true;
         }
       }
-      free_at.push(finish);  // original's slot
+      free_at.push({finish, slot});  // original's slot
       out.makespan_seconds = std::max(out.makespan_seconds, finish);
+      if (record_placements) {
+        out.placements.push_back({static_cast<int64_t>(t),
+                                  static_cast<int>(i) + 1, slot, start, finish,
+                                  /*failed=*/false, /*speculative=*/false});
+        if (backed_up) {
+          out.placements.push_back({static_cast<int64_t>(t),
+                                    static_cast<int>(i) + 1, backup_slot,
+                                    backup_start, finish, /*failed=*/false,
+                                    /*speculative=*/true});
+        }
+      }
     }
   }
   return out;

@@ -85,12 +85,31 @@ struct TaskAttempt {
   double slowdown = 1.0;  // > 1 means this attempt straggled
   bool failed = false;
   bool node_lost = false;  // failed because its simulated node was lost
+  // Measured thread-CPU time of the closure. Deliberately last: the fields
+  // above are an established aggregate-init order ({seconds, slowdown,
+  // failed, node_lost}) that existing call sites rely on.
+  double cpu_seconds = 0.0;
 };
 
 // Full attempt history of one task; the last attempt is the committed
 // (successful) one unless the task exhausted its retries.
 struct TaskExecution {
   std::vector<TaskAttempt> attempts;
+};
+
+// Where one attempt ran on the modeled cluster: the slot it occupied and
+// its start/end on the simulated timeline (seconds since the phase began).
+// Produced by ScheduleMakespanAttempts when placement recording is on; the
+// trace layer (mr/trace.h) turns these into per-attempt spans. A
+// `speculative` placement is the backup copy of the preceding attempt.
+struct AttemptPlacement {
+  int64_t task = 0;
+  int attempt = 0;  // 1-based, matching the engine's attempt numbering
+  int slot = 0;
+  double start_seconds = 0.0;
+  double end_seconds = 0.0;
+  bool failed = false;
+  bool speculative = false;
 };
 
 // Attempt-aware FIFO schedule: each task occupies a slot for every failed
@@ -103,10 +122,14 @@ struct TaskExecution {
 struct RecoverySchedule {
   double makespan_seconds = 0.0;
   int64_t speculative_backups = 0;
+  // Filled only when record_placements is set (the makespan math never
+  // depends on it); placements appear in task order, attempts ascending,
+  // with a winning speculative backup right after its original.
+  std::vector<AttemptPlacement> placements;
 };
 RecoverySchedule ScheduleMakespanAttempts(
     const std::vector<TaskExecution>& tasks, int slots,
-    double slowness_threshold);
+    double slowness_threshold, bool record_placements = false);
 
 // Everything measured/modeled about one MapReduce job.
 struct JobStats {
@@ -133,6 +156,18 @@ struct JobStats {
   // these so recovery makespans re-derive under new slot counts.
   std::vector<TaskExecution> map_attempts;
   std::vector<TaskExecution> reduce_attempts;
+  // Per-task shuffle accounting, recorded lock-free by the worker threads
+  // (each task writes only its own slot) and merged in task order: split
+  // bytes scanned and shuffle bytes/records produced per map task, shuffle
+  // partition bytes/records consumed and records produced per reduce task.
+  // Drives the trace spans' bytes in/out (mr/trace.h) and the per-reducer
+  // skew metrics; empty on stats recorded before the trace layer existed.
+  std::vector<double> map_task_in_bytes;
+  std::vector<int64_t> map_task_out_bytes;
+  std::vector<int64_t> map_task_records;
+  std::vector<int64_t> reduce_task_in_bytes;
+  std::vector<int64_t> reduce_task_records;
+  std::vector<int64_t> reduce_task_out_records;
   // Fault/recovery accounting (all zero on a fault-free run).
   int64_t task_attempts = 0;       // attempts launched, map + reduce
   int64_t failed_attempts = 0;     // attempts that fail-stopped or were killed
@@ -146,11 +181,45 @@ struct JobStats {
   }
 };
 
+// One named slab of driver-side work (e.g. dgreedy's genRootSets), with
+// its position in the job sequence so the trace can place it between the
+// jobs it actually ran between.
+struct DriverSpan {
+  std::string name;
+  double seconds = 0.0;
+  int64_t after_job = 0;  // number of jobs completed when the work ran
+};
+
 // Accumulated report for a (possibly multi-job) distributed algorithm run.
 struct SimReport {
   std::vector<JobStats> jobs;
   // Work executed on the driver between jobs (e.g. genRootSets), measured.
+  // Kept as the canonical total; AddDriverSpan updates it alongside the
+  // named spans below.
   double driver_seconds = 0.0;
+  // Named driver-side phases in execution order; sums to driver_seconds
+  // for drivers that attribute all of their work (the trace layer renders
+  // any unattributed remainder as one anonymous span).
+  std::vector<DriverSpan> driver_spans;
+
+  // Records a named driver phase at the current point in the job sequence.
+  void AddDriverSpan(const std::string& name, double seconds) {
+    driver_spans.push_back(
+        {name, seconds, static_cast<int64_t>(jobs.size())});
+    driver_seconds += seconds;
+  }
+
+  // Appends another report's jobs and driver spans (sub-pipelines such as
+  // DIndirectHaar's probes), keeping span positions consistent.
+  void Append(const SimReport& other) {
+    const int64_t base = static_cast<int64_t>(jobs.size());
+    for (const DriverSpan& span : other.driver_spans) {
+      driver_spans.push_back(
+          {span.name, span.seconds, base + span.after_job});
+    }
+    driver_seconds += other.driver_seconds;
+    jobs.insert(jobs.end(), other.jobs.begin(), other.jobs.end());
+  }
 
   double total_sim_seconds() const {
     double total = driver_seconds;

@@ -85,6 +85,16 @@ bool ParseSeed(const std::string& text, uint64_t* out) {
 
 }  // namespace
 
+const char* TaskPhaseName(TaskPhase phase) {
+  switch (phase) {
+    case TaskPhase::kMap:
+      return "map";
+    case TaskPhase::kReduce:
+      return "reduce";
+  }
+  return "unknown";
+}
+
 FaultPlan::FaultPlan(uint64_t seed, const FaultSpec& spec)
     : seed_(seed), spec_(spec), active_(true) {}
 
@@ -191,6 +201,20 @@ Status FaultPlan::Parse(const std::string& text, FaultPlan* plan) {
   }
   *plan = FaultPlan(seed, spec);
   return Status::OK();
+}
+
+std::string FaultPlan::Summary() const {
+  if (disabled_) return "disabled";
+  if (!active()) return "inert";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "seed %llu: map_fail=%g reduce_fail=%g straggle=%g x%g "
+                "node_loss=%g over %d nodes",
+                static_cast<unsigned long long>(seed_),
+                spec_.map_failure_rate, spec_.reduce_failure_rate,
+                spec_.straggler_rate, spec_.straggler_slowdown,
+                spec_.node_loss_rate, spec_.num_nodes);
+  return buf;
 }
 
 FaultDecision FaultPlan::Decide(const std::string& job, TaskPhase phase,

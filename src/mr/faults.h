@@ -26,6 +26,11 @@ namespace dwm::mr {
 
 enum class TaskPhase { kMap = 0, kReduce = 1 };
 
+// Stable lower-case phase name ("map", "reduce") used for trace span names
+// and counter keys. dwm_lint's trace-phase-span rule pins that every
+// enumerator added here gets a span mapping in mr/trace.cc.
+const char* TaskPhaseName(TaskPhase phase);
+
 // Injection rates. All rates are probabilities in [0, 1] evaluated
 // independently per (job, phase, task, attempt).
 struct FaultSpec {
@@ -76,6 +81,9 @@ class FaultPlan {
 
   // True when this plan can inject at least one fault kind.
   bool active() const { return active_ && spec_.any(); }
+  // One-line human-readable description ("inert", "disabled", or
+  // "seed 7: map_fail=0.02 ...") for trace metadata and harness headers.
+  std::string Summary() const;
   // True when this plan suppresses the DWM_FAULTS fallback.
   bool disabled() const { return disabled_; }
   uint64_t seed() const { return seed_; }

@@ -144,8 +144,10 @@ inline void CountFaultStats(JobStats& stats,
 // into `counters` if non-null. Results are byte-identical for every
 // config.worker_threads value and every FaultPlan that does not exhaust
 // retries. Returns InvalidArgument if config.Validate() fails and Aborted
-// if any task fails max_task_attempts times; *output is empty on error and
-// `stats` still carries the attempt histories of the doomed run.
+// if any task fails max_task_attempts times or a reducer's shuffle stream
+// fails to deserialize (corrupt length prefix / truncated record); *output
+// is empty on error and `stats` still carries the attempt histories of the
+// doomed run.
 template <typename Split, typename K, typename V, typename Out>
 Status RunJobOr(const JobSpec<Split, K, V, Out>& spec,
                 const std::vector<Split>& splits, const ClusterConfig& config,
@@ -252,11 +254,12 @@ Status RunJobOr(const JobSpec<Split, K, V, Out>& spec,
         ++out.records;
       };
       spec.map(task, split, emit);
+      const double cpu_seconds = clock.ElapsedSeconds();
       const double base_seconds =
-          clock.ElapsedSeconds() * config.compute_scale +
-          config.task_startup_seconds +
+          cpu_seconds * config.compute_scale + config.task_startup_seconds +
           out.in_bytes / config.storage_bytes_per_second;
       TaskAttempt record;
+      record.cpu_seconds = cpu_seconds;
       record.slowdown = fate.slowdown;
       record.failed = fate.failed();
       record.node_lost = fate.node_lost;
@@ -316,6 +319,9 @@ Status RunJobOr(const JobSpec<Split, K, V, Out>& spec,
   std::vector<double> map_seconds;
   map_seconds.reserve(static_cast<size_t>(num_map_tasks));
   stats->map_attempts.reserve(static_cast<size_t>(num_map_tasks));
+  stats->map_task_in_bytes.reserve(static_cast<size_t>(num_map_tasks));
+  stats->map_task_out_bytes.reserve(static_cast<size_t>(num_map_tasks));
+  stats->map_task_records.reserve(static_cast<size_t>(num_map_tasks));
   int64_t shuffle_records = 0;
   double input_bytes = 0.0;  // in double: int64 truncation per split would
                              // under-count by up to a byte per task
@@ -324,12 +330,17 @@ Status RunJobOr(const JobSpec<Split, K, V, Out>& spec,
     shuffle_records += out.records;
     map_seconds.push_back(out.task_seconds);
     stats->map_attempts.push_back(std::move(out.execution));
+    int64_t task_out_bytes = 0;
     for (int r = 0; r < num_reducers; ++r) {
       const ByteBuffer& buf = out.per_reducer[static_cast<size_t>(r)];
+      task_out_bytes += static_cast<int64_t>(buf.size());
       if (buf.size() != 0) {
         shuffle[static_cast<size_t>(r)].PutRaw(buf.data(), buf.size());
       }
     }
+    stats->map_task_in_bytes.push_back(out.in_bytes);
+    stats->map_task_out_bytes.push_back(task_out_bytes);
+    stats->map_task_records.push_back(out.records);
     out.per_reducer.clear();
     out.per_reducer.shrink_to_fit();  // cap peak memory at ~one extra task
   }
@@ -398,6 +409,14 @@ Status RunJobOr(const JobSpec<Split, K, V, Out>& spec,
   std::vector<double> reduce_seconds(static_cast<size_t>(num_reducers), 0.0);
   stats->reduce_attempts.assign(static_cast<size_t>(num_reducers),
                                 TaskExecution{});
+  stats->reduce_task_in_bytes.assign(static_cast<size_t>(num_reducers), 0);
+  stats->reduce_task_records.assign(static_cast<size_t>(num_reducers), 0);
+  stats->reduce_task_out_records.assign(static_cast<size_t>(num_reducers), 0);
+  // Per-reducer corrupt-stream flags, written lock-free (each reducer owns
+  // its slot). The shuffle bytes the engine itself built are trusted, but
+  // the deserialization path is shared with replayed/file-backed streams,
+  // so a bad length prefix must surface as a Status, not an abort.
+  std::vector<uint8_t> corrupt_reducers(static_cast<size_t>(num_reducers), 0);
   pool.ParallelFor(num_reducers, [&](int64_t r) {
     ThreadCpuStopwatch clock;
     ByteReader reader(shuffle[static_cast<size_t>(r)]);
@@ -407,6 +426,16 @@ Status RunJobOr(const JobSpec<Split, K, V, Out>& spec,
       V value = Serde<V>::Get(reader);
       pairs.emplace_back(std::move(key), std::move(value));
     }
+    if (!reader.ok()) {
+      // Corrupt stream: the decoded tail is meaningless, so the reduce
+      // closure never sees it (doomed jobs must not leak side effects).
+      corrupt_reducers[static_cast<size_t>(r)] = 1;
+      return;
+    }
+    stats->reduce_task_in_bytes[static_cast<size_t>(r)] =
+        static_cast<int64_t>(shuffle[static_cast<size_t>(r)].size());
+    stats->reduce_task_records[static_cast<size_t>(r)] =
+        static_cast<int64_t>(pairs.size());
     std::stable_sort(pairs.begin(), pairs.end(),
                      [&](const std::pair<K, V>& a, const std::pair<K, V>& b) {
                        return key_less(a.first, b.first);
@@ -426,8 +455,11 @@ Status RunJobOr(const JobSpec<Split, K, V, Out>& spec,
       spec.reduce(pairs[i].first, values, out);
       i = j;
     }
-    const double base_seconds = clock.ElapsedSeconds() * config.compute_scale +
-                                config.task_startup_seconds;
+    stats->reduce_task_out_records[static_cast<size_t>(r)] =
+        static_cast<int64_t>(out->size());
+    const double cpu_seconds = clock.ElapsedSeconds();
+    const double base_seconds =
+        cpu_seconds * config.compute_scale + config.task_startup_seconds;
     // Materialize the attempt chain now that the base time is measured:
     // every failed attempt is charged its failure fraction of its own
     // (possibly slowed) runtime, the committed attempt its full runtime.
@@ -442,11 +474,23 @@ Status RunJobOr(const JobSpec<Split, K, V, Out>& spec,
     }
     const FaultDecision& fate = reduce_committed[static_cast<size_t>(r)];
     TaskAttempt record;
+    record.cpu_seconds = cpu_seconds;
     record.slowdown = fate.slowdown;
     record.seconds = base_seconds * fate.slowdown;
     exec.attempts.push_back(record);
     reduce_seconds[static_cast<size_t>(r)] = record.seconds;
   });
+
+  // Surface corrupt shuffle streams as a job failure after the pool joins;
+  // like retry exhaustion, the lowest-indexed corrupt reducer is reported
+  // regardless of execution interleaving.
+  for (int r = 0; r < num_reducers; ++r) {
+    if (corrupt_reducers[static_cast<size_t>(r)] != 0) {
+      return Status::Aborted(
+          "job '" + spec.name + "': reduce task " + std::to_string(r) +
+          ": corrupt shuffle stream (truncated record or bad length prefix)");
+    }
+  }
 
   // Concatenate in reducer order (identical to the sequential run).
   size_t total_outputs = 0;

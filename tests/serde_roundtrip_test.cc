@@ -117,6 +117,96 @@ TEST(SerdeRoundtripTest, MmvCell) {
   EXPECT_EQ(decoded.left_units, 1);
 }
 
+// ---- Corrupt-buffer hardening: a malformed stream must never abort the
+// process or request absurd allocations; it drains the reader, latches the
+// failure flag, and yields zero-filled values the caller discards. ----
+
+TEST(SerdeCorruptionTest, ReaderPastEndZeroFillsAndLatches) {
+  const uint8_t bytes[4] = {1, 2, 3, 4};
+  ByteReader reader(bytes, sizeof(bytes));
+  EXPECT_TRUE(reader.ok());
+  // A read larger than the buffer must not wrap the bounds check.
+  EXPECT_EQ(reader.GetScalar<int64_t>(), 0);
+  EXPECT_FALSE(reader.ok());
+  EXPECT_TRUE(reader.Done());
+  // Every later read stays zero-filled.
+  EXPECT_EQ(reader.GetScalar<int32_t>(), 0);
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(SerdeCorruptionTest, ReaderHugeLenDoesNotWrap) {
+  // pos_ + len would overflow size_t; the check must be len <= size - pos.
+  const uint8_t bytes[8] = {0};
+  ByteReader reader(bytes, sizeof(bytes));
+  (void)reader.GetScalar<int32_t>();  // pos_ = 4
+  std::vector<uint8_t> dst(16, 0xff);
+  reader.GetRaw(dst.data(), std::numeric_limits<size_t>::max() - 2);
+  EXPECT_FALSE(reader.ok());
+  // The failure-path zero-fill is clamped to the buffer size (8), not the
+  // absurd requested length: it must stay inside the real destination.
+  EXPECT_EQ(dst[0], 0);
+  EXPECT_EQ(dst[7], 0);
+  EXPECT_EQ(dst[8], 0xff);
+  EXPECT_EQ(dst[15], 0xff);
+}
+
+TEST(SerdeCorruptionTest, StringHugeLengthPrefix) {
+  // A corrupt 32-bit length prefix far past the remaining bytes must not
+  // allocate for it.
+  ByteBuffer buf;
+  buf.PutScalar<uint32_t>(std::numeric_limits<uint32_t>::max());
+  buf.PutRaw("xy", 2);
+  ByteReader reader(buf);
+  const std::string s = Serde<std::string>::Get(reader);
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(reader.ok());
+  EXPECT_TRUE(reader.Done());
+}
+
+TEST(SerdeCorruptionTest, StringTruncatedPayload) {
+  ByteBuffer buf;
+  Serde<std::string>::Put(buf, "hello world");
+  // Drop the last 4 payload bytes.
+  ByteReader reader(buf.data(), buf.size() - 4);
+  const std::string s = Serde<std::string>::Get(reader);
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(SerdeCorruptionTest, VectorHugeLengthPrefix) {
+  // A corrupt 2^64-ish element count must neither pre-reserve exabytes nor
+  // spin the element loop to the bogus count.
+  ByteBuffer buf;
+  buf.PutScalar<uint64_t>(std::numeric_limits<uint64_t>::max());
+  buf.PutScalar<double>(1.5);
+  ByteReader reader(buf);
+  const std::vector<double> v = Serde<std::vector<double>>::Get(reader);
+  EXPECT_FALSE(reader.ok());
+  EXPECT_TRUE(reader.Done());
+  // At most one whole element was decodable before the stream ran dry.
+  EXPECT_LE(v.size(), 2u);
+}
+
+TEST(SerdeCorruptionTest, VectorTruncatedPayload) {
+  ByteBuffer buf;
+  Serde<std::vector<int64_t>>::Put(buf, {1, 2, 3, 4});
+  ByteReader reader(buf.data(), buf.size() - 3);
+  const std::vector<int64_t> v = Serde<std::vector<int64_t>>::Get(reader);
+  EXPECT_FALSE(reader.ok());
+  EXPECT_TRUE(reader.Done());
+}
+
+TEST(SerdeCorruptionTest, InvalidateDrainsReader) {
+  ByteBuffer buf;
+  Serde<std::string>::Put(buf, "payload");
+  ByteReader reader(buf);
+  EXPECT_TRUE(reader.ok());
+  reader.Invalidate();
+  EXPECT_FALSE(reader.ok());
+  EXPECT_TRUE(reader.Done());
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
 TEST(SerdeRoundtripTest, MmvRow) {
   mmv::Row row;
   row.cells.resize(3);

@@ -8,7 +8,8 @@
 //                 [--quantum Q] --output synopsis.dwm
 //   dwm_cli dbuild --input data.bin --algo dgreedy-abs|dgreedy-rel|dcon|
 //                 send-v|send-coef --budget B [--base-leaves L] [--sanity S]
-//                 [--threads T] [--faults seed[:k=v,...]] --output synopsis.dwm
+//                 [--threads T] [--faults seed[:k=v,...]] [--trace t.json]
+//                 [--trace-stable t.json] --output synopsis.dwm
 //   dwm_cli info  --synopsis synopsis.dwm
 //   dwm_cli point --synopsis synopsis.dwm --index I
 //   dwm_cli sum   --synopsis synopsis.dwm --from A --to B
@@ -37,6 +38,7 @@
 #include "dist/send_v.h"
 #include "mr/cluster.h"
 #include "mr/faults.h"
+#include "mr/trace.h"
 #include "wavelet/haar.h"
 #include "wavelet/metrics.h"
 
@@ -44,17 +46,42 @@ namespace {
 
 using Flags = std::map<std::string, std::string>;
 
+// Accepts both "--flag value" and "--flag=value".
 Flags ParseFlags(int argc, char** argv, int first) {
   Flags flags;
   for (int i = first; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg.rfind("--", 0) != 0 || i + 1 >= argc) {
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "bad argument: %s\n", arg.c_str());
+      std::exit(2);
+    }
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      continue;
+    }
+    if (i + 1 >= argc) {
       std::fprintf(stderr, "bad argument: %s\n", arg.c_str());
       std::exit(2);
     }
     flags[arg.substr(2)] = argv[++i];
   }
   return flags;
+}
+
+bool WriteTextFile(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != text.size() || !closed) {
+    std::fprintf(stderr, "short write to %s\n", path.c_str());
+    return false;
+  }
+  return true;
 }
 
 std::string Require(const Flags& flags, const std::string& name) {
@@ -281,6 +308,41 @@ int CmdDBuild(const Flags& flags) {
         static_cast<unsigned long long>(plan.seed()),
         static_cast<long long>(attempts), static_cast<long long>(failed),
         static_cast<long long>(backups));
+  }
+
+  // Trace export: --trace FILE writes Chrome trace_event JSON (open in
+  // chrome://tracing or Perfetto); --trace-stable FILE writes the
+  // byte-stable variant (measured-derived fields zeroed) used by the CI
+  // determinism check; DWM_TRACE=FILE is the env spelling of --trace. Any
+  // of the three also prints the per-job phase table.
+  std::string trace_path = Optional(flags, "trace", "");
+  if (trace_path.empty()) {
+    if (const char* env = std::getenv("DWM_TRACE")) trace_path = env;
+  }
+  const std::string stable_path = Optional(flags, "trace-stable", "");
+  if (!trace_path.empty() || !stable_path.empty()) {
+    const dwm::mr::Trace trace = dwm::mr::BuildTrace(report, cluster);
+    if (!trace_path.empty()) {
+      if (!WriteTextFile(trace_path, dwm::mr::ChromeTraceJson(trace))) {
+        return 1;
+      }
+      std::printf("trace      : wrote %s (%lld spans, faults: %s)\n",
+                  trace_path.c_str(),
+                  static_cast<long long>(trace.spans.size()),
+                  trace.fault_summary.c_str());
+    }
+    if (!stable_path.empty()) {
+      dwm::mr::ChromeTraceOptions options;
+      options.stable = true;
+      if (!WriteTextFile(stable_path,
+                         dwm::mr::ChromeTraceJson(trace, options))) {
+        return 1;
+      }
+      std::printf("trace      : wrote %s (stable, %lld spans)\n",
+                  stable_path.c_str(),
+                  static_cast<long long>(trace.spans.size()));
+    }
+    std::printf("%s", dwm::mr::PhaseTableText(report).c_str());
   }
   return 0;
 }

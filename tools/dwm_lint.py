@@ -24,6 +24,11 @@ Checks (each can be suppressed per line with `// dwm-lint: allow(<rule>)`):
                   DWM_AUDIT_CHECK is exempt (audit builds opt into
                   aborts); genuine programmer-error invariants can be
                   suppressed with an allow comment stating why.
+  trace-phase-span
+                  Every TaskPhase enumerator in src/mr/faults.h is
+                  referenced as `TaskPhase::kFoo` by the trace layer
+                  (src/mr/trace.cc): a new MR phase that never becomes
+                  a span silently vanishes from every exported trace.
 
 Exit status is non-zero iff any finding is reported, so the tool can run as
 a ctest test and as a CI job.
@@ -275,6 +280,40 @@ def check_serde(findings, root):
                          "tests/ (add one to serde_roundtrip_test.cc)")
 
 
+TASK_PHASE_ENUM_RE = re.compile(r"enum\s+class\s+TaskPhase\s*\{(.*?)\}",
+                                re.DOTALL)
+
+
+def check_trace_phase_spans(findings, root):
+    """Every TaskPhase enumerator must be handled by the trace layer: the
+    attempt-span builder switches on the phase, so an enumerator trace.cc
+    never names is a phase whose tasks no exported trace will show."""
+    faults_rel = os.path.join("src", "mr", "faults.h")
+    trace_rel = os.path.join("src", "mr", "trace.cc")
+    texts = {}
+    for rel in (faults_rel, trace_rel):
+        try:
+            with open(os.path.join(root, rel), encoding="utf-8") as f:
+                texts[rel] = strip_comments_and_strings(f.read())
+        except OSError:
+            findings.add(rel, 1, "trace-phase-span",
+                         f"{rel} is missing (the TaskPhase enum and the "
+                         "trace layer must both exist)")
+            return
+    match = TASK_PHASE_ENUM_RE.search(texts[faults_rel])
+    if not match:
+        findings.add(faults_rel, 1, "trace-phase-span",
+                     "could not find `enum class TaskPhase`")
+        return
+    line = texts[faults_rel][:match.start()].count("\n") + 1
+    for enumerator in re.findall(r"\bk[A-Za-z0-9_]+\b", match.group(1)):
+        if f"TaskPhase::{enumerator}" not in texts[trace_rel]:
+            findings.add(faults_rel, line, "trace-phase-span",
+                         f"TaskPhase::{enumerator} is never referenced by "
+                         f"{trace_rel}; new MR phases must create trace "
+                         "spans (see mr/trace.h)")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--root", default=".",
@@ -304,6 +343,7 @@ def main():
         check_banned_functions(findings, rel_path, raw_lines, code_lines)
         check_mr_recoverable(findings, rel_path, raw_lines, code_lines)
     check_serde(findings, root)
+    check_trace_phase_spans(findings, root)
 
     count = findings.report()
     if count:
