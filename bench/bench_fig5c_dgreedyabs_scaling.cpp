@@ -26,6 +26,12 @@ double TaskMakespanSum(const dwm::mr::SimReport& report) {
   return total;
 }
 
+int64_t ShuffleBytes(const dwm::mr::SimReport& report) {
+  int64_t total = 0;
+  for (const auto& job : report.jobs) total += job.shuffle_bytes;
+  return total;
+}
+
 }  // namespace
 
 int main() {
@@ -36,6 +42,7 @@ int main() {
       "as N grows (paper: 7.4x at 17M)");
 
   const int log2_max = 22 + dwm::bench::ScaleShift();
+  dwm::bench::BenchReporter reporter("fig5c");
   std::printf("%-12s %-14s", "N", "GreedyAbs(s)");
   for (int slots : {10, 20, 40}) {
     std::printf(" %-16s", (std::to_string(slots) + " tasks sim(s)").c_str());
@@ -84,6 +91,22 @@ int main() {
     dwm::bench::MaybeWriteTrace("fig5c_lg" + std::to_string(lg), r.report,
                                 dwm::bench::PaperCluster(40, 4));
     if (lg == log2_max) dwm::bench::PrintRunMetrics("dgreedyabs", r.report);
+    if (reporter.enabled()) {
+      dwm::bench::BenchRun run;
+      // Scale-invariant run index, so baselines taken at different
+      // DWM_SCALE values still line up label-for-label.
+      run.label =
+          "fig5c/dgreedyabs/s" + std::to_string(lg - (log2_max - 3));
+      run.dataset = "uniform";
+      run.n = n;
+      run.budget = static_cast<double>(budget);
+      run.makespan_seconds = sim40.back();
+      run.shuffle_bytes = ShuffleBytes(r.report);
+      run.jobs = static_cast<int64_t>(r.report.jobs.size());
+      run.metrics = dwm::bench::QualitySnapshot("dgreedy_abs");
+      reporter.Report(run);
+    }
+    dwm::bench::MaybeWriteMetrics("fig5c_lg" + std::to_string(lg));
   }
 
   const double growth = sim40.back() / sim40[1];

@@ -12,6 +12,16 @@
 #include "data/generators.h"
 #include "dist/dindirect_haar.h"
 
+namespace {
+
+int64_t ShuffleBytes(const dwm::mr::SimReport& report) {
+  int64_t total = 0;
+  for (const auto& job : report.jobs) total += job.shuffle_bytes;
+  return total;
+}
+
+}  // namespace
+
 int main() {
   dwm::bench::PrintHeader(
       "bench_fig5d_dindirecthaar_scaling",
@@ -21,6 +31,7 @@ int main() {
 
   const double quantum = 50.0;
   const int log2_max = 19 + dwm::bench::ScaleShift();
+  dwm::bench::BenchReporter reporter("fig5d");
   std::printf("delta = %.0f\n\n", quantum);
   std::printf("%-12s %-18s", "N", "IndirectHaar(s)");
   for (int slots : {10, 20, 40}) {
@@ -30,6 +41,7 @@ int main() {
 
   std::vector<double> sim40;
   std::vector<double> central_series;
+  int64_t prev_probes = 0;  // dwm_dih_probes_total is cumulative
   for (int lg = log2_max - 3; lg <= log2_max; ++lg) {
     const int64_t n = int64_t{1} << lg;
     const auto data = dwm::MakeUniform(n, 1000.0, /*seed=*/4);
@@ -61,6 +73,30 @@ int main() {
     dwm::bench::MaybeWriteTrace("fig5d_lg" + std::to_string(lg), r.report,
                                 dwm::bench::PaperCluster(40, 1));
     if (lg == log2_max) dwm::bench::PrintRunMetrics("dindirecthaar", r.report);
+    if (reporter.enabled()) {
+      dwm::bench::BenchRun run;
+      run.label =
+          "fig5d/dindirecthaar/s" + std::to_string(lg - (log2_max - 3));
+      run.dataset = "uniform";
+      run.n = n;
+      run.budget = static_cast<double>(budget);
+      run.makespan_seconds = sim40.back();
+      run.shuffle_bytes = ShuffleBytes(r.report);
+      run.jobs = static_cast<int64_t>(r.report.jobs.size());
+      run.metrics = dwm::bench::QualitySnapshot("dindirect_haar");
+      const int64_t probes =
+          dwm::metrics::Default()
+              .GetCounter("dwm_dih_probes_total",
+                          "DMinHaarSpace feasibility probes issued by the "
+                          "indirect binary search",
+                          {{"algo", "dindirect_haar"}})
+              ->value();
+      run.metrics.emplace_back("binary_search_probes",
+                               static_cast<double>(probes - prev_probes));
+      prev_probes = probes;
+      reporter.Report(run);
+    }
+    dwm::bench::MaybeWriteMetrics("fig5d_lg" + std::to_string(lg));
   }
 
   dwm::bench::PrintShapeCheck(

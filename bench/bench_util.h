@@ -17,13 +17,28 @@
 //                MaybeWriteTrace(label, ...) call writes
 //                <prefix>.<label>.json (loads in chrome://tracing). Unset =
 //                no traces, zero overhead.
+//   DWM_METRICS  path prefix for Prometheus text expositions: every
+//                MaybeWriteMetrics(label) call writes <prefix>.<label>.prom
+//                with the full process metrics registry. Unset = no files.
+//   DWM_BENCH    output directory for machine-readable bench results: each
+//                BenchReporter appends one JSON object per labeled run to
+//                <dir>/BENCH_<suite>.json (diff two such files with
+//                tools/bench_compare.py). Unset = reporter disabled.
+//   DWM_BENCH_SUITE  overrides the suite name every BenchReporter in the
+//                process writes under (the CI micro gate groups fig5c+fig5d
+//                into one BENCH_micro.json this way).
 #ifndef DWMAXERR_BENCH_BENCH_UTIL_H_
 #define DWMAXERR_BENCH_BENCH_UTIL_H_
 
+#include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
 #include "mr/cluster.h"
@@ -32,9 +47,29 @@
 
 namespace dwm::bench {
 
+// DWM_SCALE parsed strictly, mirroring the DWM_THREADS treatment in
+// mr::ResolveWorkerThreads: an optional sign followed by base-10 digits and
+// nothing else. Garbage ("abc", "2x", "0x4") warns once to stderr and
+// falls back to 0 instead of being silently misread as a prefix.
 inline int ScaleShift() {
   const char* env = std::getenv("DWM_SCALE");
-  return env == nullptr ? 0 : static_cast<int>(std::strtol(env, nullptr, 10));
+  if (env == nullptr || env[0] == '\0') return 0;
+  char* end = nullptr;
+  const long value = std::strtol(env, &end, 10);
+  const char* digits = (env[0] == '-' || env[0] == '+') ? env + 1 : env;
+  const bool valid =
+      end != env && *end == '\0' && digits[0] >= '0' && digits[0] <= '9';
+  if (!valid) {
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true)) {
+      std::fprintf(stderr,
+                   "warning: ignoring DWM_SCALE='%s' (expected a base-10 "
+                   "integer); using 0\n",
+                   env);
+    }
+    return 0;
+  }
+  return static_cast<int>(value);
 }
 
 inline int64_t ScaledN(int log2_default) {
@@ -173,6 +208,183 @@ inline void PrintRunMetrics(const std::string& label,
       worst_skew_job >= 0 ? report.jobs[static_cast<size_t>(worst_skew_job)]
                                 .name.c_str()
                           : "");
+}
+
+// Writes <DWM_METRICS>.<label>.prom (Prometheus text exposition of the
+// whole process registry) when the DWM_METRICS knob is set; no-op
+// otherwise. Returns true if a file was written.
+inline bool MaybeWriteMetrics(const std::string& label) {
+  const char* prefix = std::getenv("DWM_METRICS");
+  if (prefix == nullptr || prefix[0] == '\0') return false;
+  const std::string path = std::string(prefix) + "." + label + ".prom";
+  const std::string text = metrics::Default().PrometheusText();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: DWM_METRICS: cannot open %s\n",
+                 path.c_str());
+    return false;
+  }
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != text.size() || !closed) {
+    std::fprintf(stderr, "warning: DWM_METRICS: short write to %s\n",
+                 path.c_str());
+    return false;
+  }
+  std::printf("metrics    : wrote %s\n", path.c_str());
+  return true;
+}
+
+// One labeled harness run, as recorded into BENCH_<suite>.json. The
+// `metrics` snapshot should hold only deterministic (cost-model / input
+// derived) values: tools/bench_compare.py compares them exactly, while
+// makespan_seconds gets a ratio tolerance (it derives from measured CPU).
+struct BenchRun {
+  std::string label;    // stable id, e.g. "fig5c/dgreedyabs/s2"
+  std::string dataset;  // generator name ("uniform", "zipf07", "nyct", ...)
+  int64_t n = 0;
+  double budget = 0.0;  // coefficient budget B; 0 for eps-driven algorithms
+  double eps = 0.0;     // error bound; 0 for budget-driven algorithms
+  double makespan_seconds = 0.0;  // simulated cluster time of the run
+  int64_t shuffle_bytes = 0;
+  int64_t jobs = 0;
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+namespace bench_internal {
+
+inline void AppendJsonEscaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+}
+
+// Deterministic number formatting (integers exact, %.9g otherwise),
+// matching the metrics registry's JSON exporter.
+inline void AppendJsonNumber(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "0";
+    return;
+  }
+  char buf[64];
+  if (v == std::floor(v) && std::abs(v) < 9.007199254740992e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+  }
+  out += buf;
+}
+
+}  // namespace bench_internal
+
+// Appends one JSON object per labeled run to <DWM_BENCH>/BENCH_<suite>.json
+// (JSON Lines: one object per line, so runs append cheaply and
+// tools/bench_compare.py streams them). Disabled (zero overhead, no files)
+// unless the DWM_BENCH knob names an output directory; DWM_BENCH_SUITE
+// overrides `suite`. The git SHA is taken from DWM_GIT_SHA or GITHUB_SHA
+// ("unknown" otherwise) so a baseline records what produced it.
+class BenchReporter {
+ public:
+  explicit BenchReporter(const std::string& suite) {
+    const char* dir = std::getenv("DWM_BENCH");
+    if (dir == nullptr || dir[0] == '\0') return;
+    const char* suite_env = std::getenv("DWM_BENCH_SUITE");
+    const std::string name =
+        (suite_env != nullptr && suite_env[0] != '\0') ? suite_env : suite;
+    path_ = std::string(dir) + "/BENCH_" + name + ".json";
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  void Report(const BenchRun& run) {
+    if (!enabled()) return;
+    std::string line = "{\"label\":\"";
+    bench_internal::AppendJsonEscaped(line, run.label);
+    line += "\",\"dataset\":\"";
+    bench_internal::AppendJsonEscaped(line, run.dataset);
+    line += "\",\"n\":";
+    bench_internal::AppendJsonNumber(line, static_cast<double>(run.n));
+    line += ",\"budget\":";
+    bench_internal::AppendJsonNumber(line, run.budget);
+    line += ",\"eps\":";
+    bench_internal::AppendJsonNumber(line, run.eps);
+    line += ",\"makespan_seconds\":";
+    bench_internal::AppendJsonNumber(line, run.makespan_seconds);
+    line += ",\"shuffle_bytes\":";
+    bench_internal::AppendJsonNumber(line,
+                                     static_cast<double>(run.shuffle_bytes));
+    line += ",\"jobs\":";
+    bench_internal::AppendJsonNumber(line, static_cast<double>(run.jobs));
+    line += ",\"git_sha\":\"";
+    bench_internal::AppendJsonEscaped(line, GitSha());
+    line += "\",\"metrics\":{";
+    bool first = true;
+    for (const auto& [key, value] : run.metrics) {
+      if (!first) line += ',';
+      first = false;
+      line += '"';
+      bench_internal::AppendJsonEscaped(line, key);
+      line += "\":";
+      bench_internal::AppendJsonNumber(line, value);
+    }
+    line += "}}\n";
+    std::FILE* f = std::fopen(path_.c_str(), "ab");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: DWM_BENCH: cannot open %s\n",
+                   path_.c_str());
+      return;
+    }
+    const size_t written = std::fwrite(line.data(), 1, line.size(), f);
+    if (written != line.size() || std::fclose(f) != 0) {
+      std::fprintf(stderr, "warning: DWM_BENCH: short write to %s\n",
+                   path_.c_str());
+    }
+  }
+
+ private:
+  static std::string GitSha() {
+    for (const char* knob : {"DWM_GIT_SHA", "GITHUB_SHA"}) {
+      if (const char* sha = std::getenv(knob); sha != nullptr && sha[0]) {
+        return sha;
+      }
+    }
+    return "unknown";
+  }
+
+  std::string path_;
+};
+
+// The per-algo quality gauges PublishSynopsisQuality just set for `algo`,
+// as BenchRun::metrics entries — the deterministic snapshot the regression
+// gate compares exactly.
+inline std::vector<std::pair<std::string, double>> QualitySnapshot(
+    const std::string& algo) {
+  metrics::Registry& registry = metrics::Default();
+  const metrics::Labels labels = {{"algo", algo}};
+  return {
+      {"retained_coefficients",
+       registry
+           .GetGauge("dwm_synopsis_retained_coefficients",
+                     "Coefficients retained by the last run", labels)
+           ->value()},
+      {"achieved_error",
+       registry
+           .GetGauge("dwm_synopsis_achieved_error",
+                     "Reconstruction error of the last run, in the "
+                     "algorithm's own metric",
+                     labels)
+           ->value()},
+  };
 }
 
 }  // namespace dwm::bench

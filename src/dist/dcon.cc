@@ -8,6 +8,7 @@
 #include "dist/tree_partition.h"
 #include "mr/job.h"
 #include "wavelet/error_tree.h"
+#include "wavelet/metrics.h"
 
 namespace dwm {
 
@@ -84,6 +85,8 @@ DistSynopsisResult RunCon(const std::vector<double>& data, int64_t budget,
   // total_sim_seconds is unchanged, but rescheduling no longer drops it.
   result.report.AddDriverSpan(
       "con_finalize", finalize.ElapsedSeconds() * cluster.compute_scale);
+  PublishSynopsisQuality("dcon", result.synopsis,
+                         MaxAbsError(data, result.synopsis));
   return result;
 }
 

@@ -13,6 +13,7 @@
 #include "common/stopwatch.h"
 #include "core/greedy_abs.h"
 #include "core/greedy_rel.h"
+#include "dist/dist_common.h"
 #include "dist/serde.h"
 #include "dist/tree_partition.h"
 #include "mr/job.h"
@@ -358,6 +359,34 @@ DGreedyResult RunDGreedy(const DGreedyContext& ctx,
         ctx.relative ? MaxRelError(data, out.synopsis, ctx.sanity)
                      : MaxAbsError(data, out.synopsis);
     DWM_AUDIT_CHECK(out.estimated_error <= exact + 1e-6);
+  }
+  const std::string algo = ctx.relative ? "dgreedy_rel" : "dgreedy_abs";
+  PublishSynopsisQuality(algo, out.synopsis, out.estimated_error);
+  metrics::Registry& registry = metrics::Default();
+  const metrics::Labels labels = {{"algo", algo}};
+  registry
+      .GetGauge("dwm_dgreedy_best_croot_size",
+                "Retained root sub-tree coefficients (|C_root|) of the "
+                "winning candidate",
+                labels)
+      ->Set(static_cast<double>(best_s));
+  registry
+      .GetGauge("dwm_dgreedy_croot_candidates",
+                "C_root candidate sizes evaluated by the histogram stage",
+                labels)
+      ->Set(static_cast<double>(candidates.size()));
+  // The histogram stage shuffles exactly one record per bucketed
+  // Pareto-frontier point, so its shuffle_records is the bucket count the
+  // e_b compaction (Algorithm 3) actually produced.
+  for (const mr::JobStats& job : out.report.jobs) {
+    if (job.name.find("_hist") != std::string::npos) {
+      registry
+          .GetGauge("dwm_dgreedy_frontier_points",
+                    "Bucketed error-frontier points shuffled by the "
+                    "histogram stage",
+                    labels)
+          ->Set(static_cast<double>(job.shuffle_records));
+    }
   }
   return out;
 }

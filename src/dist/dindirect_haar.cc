@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "common/status.h"
 #include "dist/dcon.h"
+#include "dist/dist_common.h"
 #include "dist/dmin_haar_space.h"
 #include "dist/tree_partition.h"
 #include "mr/job.h"
@@ -166,6 +167,8 @@ DIndirectHaarResult DIndirectHaar(const std::vector<double>& data,
     out.search.synopsis = con.synopsis;
     out.search.max_abs_error = e_u;
     AuditSearchResult(data, options.budget, out.search);
+    PublishSynopsisQuality("dindirect_haar", out.search.synopsis,
+                           out.search.max_abs_error);
     return out;
   }
   if (e_u <= options.quantum / 2.0) {
@@ -186,6 +189,12 @@ DIndirectHaarResult DIndirectHaar(const std::vector<double>& data,
     // (probe jobs reuse the dmhs_* names, so the marker is what tells
     // iterations apart in the trace).
     out.report.AddDriverSpan("dih_probe" + std::to_string(++probe_index), 0.0);
+    metrics::Default()
+        .GetCounter("dwm_dih_probes_total",
+                    "DMinHaarSpace feasibility probes issued by the "
+                    "indirect binary search",
+                    {{"algo", "dindirect_haar"}})
+        ->Increment();
     out.report.Append(run.report);
     if (!run.status.ok()) {
       out.status = run.status;
@@ -198,6 +207,8 @@ DIndirectHaarResult DIndirectHaar(const std::vector<double>& data,
                          options.quantum, options.max_iterations);
   if (!out.status.ok()) return out;  // a probe died; the search is unusable
   AuditSearchResult(data, options.budget, out.search);
+  PublishSynopsisQuality("dindirect_haar", out.search.synopsis,
+                         out.search.max_abs_error);
   return out;
 }
 

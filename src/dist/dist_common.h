@@ -6,6 +6,7 @@
 #include <queue>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "mr/cluster.h"
 #include "wavelet/haar.h"
@@ -23,6 +24,42 @@ struct DistSynopsisResult {
   mr::SimReport report;
   Status status;
 };
+
+// Publishes the synopsis-quality gauges every distributed driver exports on
+// a successful run, labeled {algo=<name>}: coefficients retained,
+// reconstruction error achieved in the algorithm's own metric (max-abs, or
+// max-rel for the relative-error variants), the requested error bound when
+// the algorithm takes one (error_bound >= 0), and a per-algo run counter.
+// All values are pure functions of the inputs, so they land in the
+// registry's stable (deterministic-JSON) export. dwm_lint's
+// dist-quality-metrics rule pins that every driver in src/dist calls this.
+inline void PublishSynopsisQuality(const std::string& algo,
+                                   const Synopsis& synopsis,
+                                   double achieved_error,
+                                   double error_bound = -1.0) {
+  metrics::Registry& registry = metrics::Default();
+  const metrics::Labels labels = {{"algo", algo}};
+  registry
+      .GetGauge("dwm_synopsis_retained_coefficients",
+                "Coefficients retained by the last run", labels)
+      ->Set(static_cast<double>(synopsis.size()));
+  registry
+      .GetGauge("dwm_synopsis_achieved_error",
+                "Reconstruction error of the last run, in the algorithm's "
+                "own metric",
+                labels)
+      ->Set(achieved_error);
+  if (error_bound >= 0.0) {
+    registry
+        .GetGauge("dwm_synopsis_error_bound",
+                  "Requested error bound (eps) of the last run", labels)
+        ->Set(error_bound);
+  }
+  registry
+      .GetCounter("dwm_dist_runs_total",
+                  "Completed distributed synopsis constructions", labels)
+      ->Increment();
+}
 
 namespace dist_internal {
 

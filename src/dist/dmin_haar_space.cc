@@ -9,6 +9,7 @@
 #include "common/bits.h"
 #include "common/check.h"
 #include "common/stopwatch.h"
+#include "dist/dist_common.h"
 #include "dist/serde.h"
 #include "mr/bytes.h"
 #include "mr/job.h"
@@ -128,6 +129,13 @@ DmhsResult DMinHaarSpace(const std::vector<double>& data,
     std::vector<int64_t> unused;
     out.status = mr::RunJobOr(spec, splits, cluster, &unused, &stats);
     out.report.jobs.push_back(stats);
+    // Per-level DP communication, the number the MPC-on-trees line tracks:
+    // one counter child per up/down stage, accumulated across probes.
+    metrics::Default()
+        .GetCounter("dwm_dmhs_level_shuffle_bytes_total",
+                    "Shuffle bytes per DP level (up/down sweep stages)",
+                    {{"stage", stats.name}})
+        ->Increment(stats.shuffle_bytes);
     if (!out.status.ok()) return out;
   }
 
@@ -267,6 +275,11 @@ DmhsResult DMinHaarSpace(const std::vector<double>& data,
     std::vector<int64_t> unused;
     out.status = mr::RunJobOr(spec, splits, cluster, &unused, &stats);
     out.report.jobs.push_back(stats);
+    metrics::Default()
+        .GetCounter("dwm_dmhs_level_shuffle_bytes_total",
+                    "Shuffle bytes per DP level (up/down sweep stages)",
+                    {{"stage", stats.name}})
+        ->Increment(stats.shuffle_bytes);
     if (!out.status.ok()) return out;
     assignments = std::move(next_assignments);
   }
@@ -284,6 +297,8 @@ DmhsResult DMinHaarSpace(const std::vector<double>& data,
     DWM_AUDIT_CHECK(std::abs(exact - out.result.max_abs_error) <= 1e-9);
     DWM_AUDIT_CHECK(exact <= options.error_bound + 1e-9);
   }
+  PublishSynopsisQuality("dmin_haar_space", out.result.synopsis,
+                         out.result.max_abs_error, options.error_bound);
   return out;
 }
 

@@ -8,12 +8,14 @@
 #include "common/bits.h"
 #include "common/check.h"
 #include "common/stopwatch.h"
+#include "dist/dist_common.h"
 #include "dist/serde.h"
 #include "dist/tree_partition.h"
 #include "mr/bytes.h"
 #include "mr/job.h"
 #include "wavelet/error_tree.h"
 #include "wavelet/haar.h"
+#include "wavelet/metrics.h"
 
 
 namespace dwm {
@@ -216,6 +218,18 @@ DMinMaxVarResult DMinMaxVar(const std::vector<double>& data,
     DWM_AUDIT_CHECK(out.result.synopsis.size() <=
                     static_cast<int64_t>(out.result.allocations.size()));
   }
+  PublishSynopsisQuality("dmin_max_var", out.result.synopsis,
+                         MaxAbsError(data, out.result.synopsis));
+  metrics::Registry& registry = metrics::Default();
+  const metrics::Labels labels = {{"algo", "dmin_max_var"}};
+  registry
+      .GetGauge("dwm_dmmv_expected_space_units",
+                "Expected-space units the probabilistic DP spent", labels)
+      ->Set(static_cast<double>(out.result.expected_space_units));
+  registry
+      .GetGauge("dwm_dmmv_allocations",
+                "Nodes granted a positive retention probability", labels)
+      ->Set(static_cast<double>(out.result.allocations.size()));
   return out;
 }
 

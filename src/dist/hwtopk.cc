@@ -13,6 +13,7 @@
 #include "dist/tree_partition.h"
 #include "mr/job.h"
 #include "wavelet/error_tree.h"
+#include "wavelet/metrics.h"
 
 namespace dwm {
 namespace {
@@ -301,6 +302,15 @@ DistSynopsisResult RunHWTopk(const std::vector<double>& data, int64_t budget,
   // intact under rescheduling.
   result.report.AddDriverSpan(
       "hwtopk_finalize", finalize.ElapsedSeconds() * cluster.compute_scale);
+  PublishSynopsisQuality("hwtopk", result.synopsis,
+                         MaxAbsError(data, result.synopsis));
+  // TPUT pruning effectiveness: how many candidates survived into the
+  // exact round-3 lookup.
+  metrics::Default()
+      .GetGauge("dwm_hwtopk_round3_candidates",
+                "Candidate coefficients surviving TPUT pruning into round 3",
+                {{"algo", "hwtopk"}})
+      ->Set(static_cast<double>(candidates.size()));
   return result;
 }
 

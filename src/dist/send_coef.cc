@@ -9,6 +9,7 @@
 #include "dist/tree_partition.h"
 #include "mr/job.h"
 #include "wavelet/error_tree.h"
+#include "wavelet/metrics.h"
 
 namespace dwm {
 
@@ -90,6 +91,8 @@ DistSynopsisResult RunSendCoef(const std::vector<double>& data, int64_t budget,
   result.report.jobs.push_back(stats);
   result.report.AddDriverSpan(
       "sendcoef_finalize", finalize.ElapsedSeconds() * cluster.compute_scale);
+  PublishSynopsisQuality("send_coef", result.synopsis,
+                         MaxAbsError(data, result.synopsis));
   return result;
 }
 

@@ -8,6 +8,7 @@
 #include "common/stopwatch.h"
 #include "core/conventional.h"
 #include "mr/job.h"
+#include "wavelet/metrics.h"
 
 namespace dwm {
 
@@ -65,6 +66,8 @@ DistSynopsisResult RunSendV(const std::vector<double>& data, int64_t budget,
   result.report.jobs.push_back(stats);
   result.report.AddDriverSpan(
       "sendv_finalize", finalize.ElapsedSeconds() * cluster.compute_scale);
+  PublishSynopsisQuality("send_v", result.synopsis,
+                         MaxAbsError(data, result.synopsis));
   return result;
 }
 

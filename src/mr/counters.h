@@ -11,17 +11,26 @@
 #include <mutex>
 #include <string>
 
+#include "common/metrics.h"
+
 namespace dwm::mr {
 
 class Counters {
  public:
   Counters() = default;
-  Counters(const Counters& other) : values_(other.values()) {}
+  // Copying explicitly locks `other`'s mutex for the whole read: a snapshot
+  // taken mid-job (worker threads still Add-ing) must observe a consistent
+  // map, never a map being rebalanced under it.
+  Counters(const Counters& other) {
+    const std::lock_guard<std::mutex> lock(other.mu_);
+    values_ = other.values_;
+  }
   Counters& operator=(const Counters& other) {
     if (this != &other) {
-      auto snapshot = other.values();
-      const std::lock_guard<std::mutex> lock(mu_);
-      values_ = std::move(snapshot);
+      // Both sides locked, in deadlock-free order (two threads assigning
+      // a and b to each other concurrently must not hold one lock each).
+      const std::scoped_lock lock(mu_, other.mu_);
+      values_ = other.values_;
     }
     return *this;
   }
@@ -53,6 +62,21 @@ class Counters {
   mutable std::mutex mu_;
   std::map<std::string, int64_t> values_;
 };
+
+// Bridges the Hadoop-style named counters into the metrics registry: every
+// counter exports as one child of the `dwm_mr_counter` family, labeled with
+// its name. A gauge (Set), not a monotonic counter: counters are cumulative
+// already, so re-publishing a later snapshot must overwrite, not add.
+inline void PublishCounters(const Counters& counters,
+                            metrics::Registry* registry) {
+  for (const auto& [name, value] : counters.values()) {
+    registry
+        ->GetGauge("dwm_mr_counter",
+                   "Named MR job counter (mr/counters.h) snapshot",
+                   {{"name", name}})
+        ->Set(static_cast<double>(value));
+  }
+}
 
 }  // namespace dwm::mr
 

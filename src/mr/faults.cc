@@ -3,6 +3,9 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/metrics.h"
+#include "mr/cluster.h"
+
 namespace dwm::mr {
 namespace {
 
@@ -294,6 +297,35 @@ const FaultPlan& EffectiveFaultPlan(const FaultPlan& config_plan) {
     return plan;
   }();
   return env_plan;
+}
+
+void PublishFaultTallies(const JobStats& stats,
+                         metrics::Registry* registry) {
+  const metrics::Labels labels = {{"job", stats.name}};
+  registry
+      ->GetCounter("dwm_faults_task_attempts_total",
+                   "Task attempts launched (map + reduce) under an active "
+                   "fault plan",
+                   labels)
+      ->Increment(stats.task_attempts);
+  registry
+      ->GetCounter("dwm_faults_failed_attempts_total",
+                   "Attempts that fail-stopped or were killed", labels)
+      ->Increment(stats.failed_attempts);
+  registry
+      ->GetCounter("dwm_faults_node_loss_kills_total",
+                   "Failed attempts caused by simulated node loss", labels)
+      ->Increment(stats.node_loss_kills);
+  registry
+      ->GetCounter("dwm_faults_straggler_attempts_total",
+                   "Attempts that ran slowed by the straggler injector",
+                   labels)
+      ->Increment(stats.straggler_attempts);
+  registry
+      ->GetCounter("dwm_faults_speculative_backups_total",
+                   "Backup copies the attempt-aware scheduler launched",
+                   labels)
+      ->Increment(stats.speculative_backups);
 }
 
 }  // namespace dwm::mr

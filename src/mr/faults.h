@@ -22,7 +22,13 @@
 
 #include "common/status.h"
 
+namespace dwm::metrics {
+class Registry;
+}  // namespace dwm::metrics
+
 namespace dwm::mr {
+
+struct JobStats;  // mr/cluster.h (which includes this header)
 
 enum class TaskPhase { kMap = 0, kReduce = 1 };
 
@@ -120,6 +126,15 @@ Status FaultPlanFromEnv(FaultPlan* plan);
 // process-wide DWM_FAULTS plan (parsed once; a malformed value warns once
 // to stderr and is treated as unset).
 const FaultPlan& EffectiveFaultPlan(const FaultPlan& config_plan);
+
+// Publishes one faulted job's injected-fault tallies (attempts launched,
+// fail-stops, node-loss kills, stragglers, speculative backups) into the
+// metrics registry as dwm_faults_* counters labeled {job=<name>}. The
+// engine calls this after a job that ran under an active plan completes;
+// the tallies are a pure function of (plan, job), so the exported values
+// are deterministic at any worker_threads (the registry's kStable
+// contract).
+void PublishFaultTallies(const JobStats& stats, metrics::Registry* registry);
 
 }  // namespace dwm::mr
 

@@ -137,6 +137,15 @@ inline void CountFaultStats(JobStats& stats,
   }
 }
 
+// Publishes one completed job's cost-model accounting into the process
+// metrics registry (metrics::Default()): task/byte/record counters, the
+// reducer-skew gauge (all kStable — pure functions of inputs + cost
+// model), plus the measured phase timings and task-duration histograms
+// (kMeasured). With `faults_active` the dwm_faults_* tallies publish too
+// (PublishFaultTallies). Defined in mr/job.cc — non-template, so the
+// header-only engine stays light.
+void PublishJobMetrics(const JobStats& stats, bool faults_active);
+
 }  // namespace job_internal
 
 // Runs the job and stores the concatenated reducer outputs (in reducer
@@ -544,6 +553,7 @@ Status RunJobOr(const JobSpec<Split, K, V, Out>& spec,
                     stats->speculative_backups);
     }
   }
+  job_internal::PublishJobMetrics(*stats, faults.active());
   return Status::OK();
 }
 

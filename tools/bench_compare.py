@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_<suite>.json files and fail on regression.
+
+Each file is JSON Lines: one object per labeled run, appended by
+bench::BenchReporter (see bench/bench_util.h). Records are matched by
+"label". Comparison rules:
+
+  * Deterministic fields (n, budget, eps, shuffle_bytes, jobs, dataset and
+    every entry under "metrics") must match EXACTLY -- they are pure
+    functions of the input and the cost model, so any drift is a real
+    behavior change, not noise.
+  * "makespan_seconds" derives from measured CPU time, so it gets a
+    one-sided ratio tolerance (default 1.5): only current > baseline *
+    ratio is a regression; getting faster never fails.
+  * "git_sha" is provenance, never compared.
+  * A label present in the baseline but missing from the current file is a
+    regression (a run silently disappeared). New labels in the current
+    file are reported but do not fail -- they have no baseline yet.
+
+Usage:
+  bench_compare.py BASELINE CURRENT [options]
+
+Options:
+  --tolerance FIELD=RATIO  one-sided ratio tolerance for a numeric field
+                           (repeatable; FIELD may be dotted, e.g.
+                           "metrics.achieved_error"). RATIO must be >= 1.
+  --ignore FIELD           skip a field entirely (repeatable).
+
+Exit status: 0 all runs within tolerance, 1 regression or missing label,
+2 usage or file-format error.
+"""
+
+import argparse
+import json
+import sys
+
+# Fields compared exactly unless a --tolerance/--ignore overrides them.
+# "metrics.*" entries are discovered from the records themselves.
+EXACT_FIELDS = ["dataset", "n", "budget", "eps", "shuffle_bytes", "jobs"]
+NEVER_COMPARED = {"label", "git_sha"}
+DEFAULT_TOLERANCES = {"makespan_seconds": 1.5}
+
+
+def die(msg):
+    print(f"bench_compare: error: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_runs(path):
+    """Returns {label: record}; later lines win (re-runs append)."""
+    runs = {}
+    try:
+        with open(path, encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as e:
+                    die(f"{path}:{lineno}: not valid JSON: {e}")
+                if not isinstance(record, dict) or "label" not in record:
+                    die(f"{path}:{lineno}: record has no \"label\"")
+                runs[record["label"]] = record
+    except OSError as e:
+        die(f"cannot read {path}: {e}")
+    if not runs:
+        die(f"{path}: no benchmark records")
+    return runs
+
+
+def flatten(record):
+    """Maps field path -> value, expanding the nested "metrics" object."""
+    flat = {}
+    for key, value in record.items():
+        if key in NEVER_COMPARED:
+            continue
+        if key == "metrics" and isinstance(value, dict):
+            for mkey, mvalue in value.items():
+                flat[f"metrics.{mkey}"] = mvalue
+        else:
+            flat[key] = value
+    return flat
+
+
+def parse_args(argv):
+    parser = argparse.ArgumentParser(add_help=True, usage=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--tolerance", action="append", default=[],
+                        metavar="FIELD=RATIO")
+    parser.add_argument("--ignore", action="append", default=[],
+                        metavar="FIELD")
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as e:
+        # argparse exits 2 on usage errors already; normalize --help to 0.
+        raise e
+    tolerances = dict(DEFAULT_TOLERANCES)
+    for spec in args.tolerance:
+        field, sep, ratio_text = spec.partition("=")
+        if not sep or not field:
+            die(f"--tolerance wants FIELD=RATIO, got '{spec}'")
+        try:
+            ratio = float(ratio_text)
+        except ValueError:
+            die(f"--tolerance {field}: '{ratio_text}' is not a number")
+        if ratio < 1.0:
+            die(f"--tolerance {field}: ratio must be >= 1, got {ratio}")
+        tolerances[field] = ratio
+    return args, tolerances, set(args.ignore)
+
+
+def compare_field(label, field, base, cur, tolerances, failures):
+    if isinstance(base, (int, float)) and isinstance(cur, (int, float)) \
+            and field in tolerances:
+        ratio = tolerances[field]
+        limit = base * ratio if base >= 0 else base / ratio
+        if cur > limit:
+            failures.append(
+                f"{label}: {field} regressed: {cur} > {base} * {ratio}")
+        return
+    if base != cur:
+        failures.append(
+            f"{label}: {field} changed: baseline {base!r} -> current {cur!r}")
+
+
+def main(argv):
+    args, tolerances, ignored = parse_args(argv)
+    baseline = load_runs(args.baseline)
+    current = load_runs(args.current)
+
+    failures = []
+    compared = 0
+    for label, base_record in sorted(baseline.items()):
+        cur_record = current.get(label)
+        if cur_record is None:
+            failures.append(f"{label}: missing from {args.current}")
+            continue
+        base_flat = flatten(base_record)
+        cur_flat = flatten(cur_record)
+        for field in sorted(set(base_flat) | set(cur_flat)):
+            if field in ignored:
+                continue
+            if field not in base_flat:
+                failures.append(f"{label}: {field} only in current file")
+                continue
+            if field not in cur_flat:
+                failures.append(f"{label}: {field} only in baseline file")
+                continue
+            compare_field(label, field, base_flat[field], cur_flat[field],
+                          tolerances, failures)
+        compared += 1
+
+    new_labels = sorted(set(current) - set(baseline))
+    for label in new_labels:
+        print(f"bench_compare: note: new run '{label}' has no baseline")
+
+    if failures:
+        for failure in failures:
+            print(f"bench_compare: REGRESSION: {failure}")
+        print(f"bench_compare: FAIL ({len(failures)} regression(s) across "
+              f"{compared} compared run(s))")
+        return 1
+    print(f"bench_compare: OK ({compared} run(s) within tolerance, "
+          f"{len(new_labels)} new)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

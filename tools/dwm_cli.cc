@@ -9,7 +9,8 @@
 //   dwm_cli dbuild --input data.bin --algo dgreedy-abs|dgreedy-rel|dcon|
 //                 send-v|send-coef --budget B [--base-leaves L] [--sanity S]
 //                 [--threads T] [--faults seed[:k=v,...]] [--trace t.json]
-//                 [--trace-stable t.json] --output synopsis.dwm
+//                 [--trace-stable t.json] [--metrics[=m.prom]]
+//                 --output synopsis.dwm
 //   dwm_cli info  --synopsis synopsis.dwm
 //   dwm_cli point --synopsis synopsis.dwm --index I
 //   dwm_cli sum   --synopsis synopsis.dwm --from A --to B
@@ -25,6 +26,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/metrics.h"
 #include "core/conventional.h"
 #include "core/greedy_abs.h"
 #include "core/greedy_rel.h"
@@ -46,6 +48,10 @@ namespace {
 
 using Flags = std::map<std::string, std::string>;
 
+// Flags that may appear bare ("--metrics") as well as with a value
+// ("--metrics=FILE"); bare spelling stores the empty string.
+bool TakesOptionalValue(const std::string& name) { return name == "metrics"; }
+
 // Accepts both "--flag value" and "--flag=value".
 Flags ParseFlags(int argc, char** argv, int first) {
   Flags flags;
@@ -58,6 +64,12 @@ Flags ParseFlags(int argc, char** argv, int first) {
     const size_t eq = arg.find('=');
     if (eq != std::string::npos) {
       flags[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      continue;
+    }
+    const std::string name = arg.substr(2);
+    if (TakesOptionalValue(name) &&
+        (i + 1 >= argc || std::strncmp(argv[i + 1], "--", 2) == 0)) {
+      flags[name] = "";
       continue;
     }
     if (i + 1 >= argc) {
@@ -343,6 +355,30 @@ int CmdDBuild(const Flags& flags) {
                   static_cast<long long>(trace.spans.size()));
     }
     std::printf("%s", dwm::mr::PhaseTableText(report).c_str());
+  }
+
+  // Metrics export: bare --metrics prints the process metrics registry in
+  // Prometheus text-exposition format to stdout; --metrics=FILE writes it
+  // to FILE instead. DWM_METRICS=PREFIX is the env spelling, writing
+  // PREFIX.dbuild.prom (same path scheme as the bench harnesses).
+  if (flags.count("metrics") != 0) {
+    const std::string text = dwm::metrics::Default().PrometheusText();
+    const std::string metrics_path = flags.at("metrics");
+    if (metrics_path.empty()) {
+      std::printf("%s", text.c_str());
+    } else {
+      if (!WriteTextFile(metrics_path, text)) return 1;
+      std::printf("metrics    : wrote %s\n", metrics_path.c_str());
+    }
+  }
+  if (const char* prefix = std::getenv("DWM_METRICS");
+      prefix != nullptr && prefix[0] != '\0') {
+    const std::string metrics_path = std::string(prefix) + ".dbuild.prom";
+    if (!WriteTextFile(metrics_path,
+                       dwm::metrics::Default().PrometheusText())) {
+      return 1;
+    }
+    std::printf("metrics    : wrote %s\n", metrics_path.c_str());
   }
   return 0;
 }

@@ -314,6 +314,44 @@ def check_trace_phase_spans(findings, root):
                          "spans (see mr/trace.h)")
 
 
+# The eight distributed drivers. Every one must publish synopsis-quality
+# metrics (retained coefficients + achieved error) so dashboards and the
+# bench-regression gate never silently lose an algorithm.
+DIST_DRIVERS = [
+    "dcon.cc",
+    "send_v.cc",
+    "send_coef.cc",
+    "hwtopk.cc",
+    "dgreedy.cc",
+    "dindirect_haar.cc",
+    "dmin_haar_space.cc",
+    "dmin_max_var.cc",
+]
+
+
+def check_dist_quality_metrics(findings, root):
+    """Every dist driver must call PublishSynopsisQuality (dist_common.h)
+    on its success path: the metrics registry, the bench reporter, and the
+    parameterized quality test all assume each algorithm exports retained
+    coefficients and achieved error."""
+    for name in DIST_DRIVERS:
+        rel = os.path.join("src", "dist", name)
+        try:
+            with open(os.path.join(root, rel), encoding="utf-8") as f:
+                text = strip_comments_and_strings(f.read())
+        except OSError:
+            findings.add(rel, 1, "dist-quality-metrics",
+                         f"{rel} is missing (every distributed driver must "
+                         "exist and publish quality metrics)")
+            continue
+        if "PublishSynopsisQuality(" not in text:
+            findings.add(rel, 1, "dist-quality-metrics",
+                         "driver never calls PublishSynopsisQuality(); "
+                         "every dist driver must export retained "
+                         "coefficients and achieved error "
+                         "(see dist/dist_common.h)")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--root", default=".",
@@ -344,6 +382,7 @@ def main():
         check_mr_recoverable(findings, rel_path, raw_lines, code_lines)
     check_serde(findings, root)
     check_trace_phase_spans(findings, root)
+    check_dist_quality_metrics(findings, root)
 
     count = findings.report()
     if count:
