@@ -18,8 +18,11 @@ enum class StatusCode {
   kAborted = 5,
 };
 
-// Value-semantic status: kOk or (code, message).
-class Status {
+// Value-semantic status: kOk or (code, message). The class-level
+// [[nodiscard]] makes every call that returns a Status ill-formed to
+// ignore (with -Werror in CI): callers must check it, DWM_RETURN_NOT_OK
+// it, or consume it explicitly.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)

@@ -10,19 +10,23 @@
 
 namespace dwm {
 
-Status WriteDoublesBinary(const std::string& path,
-                          const std::vector<double>& data);
-Status ReadDoublesBinary(const std::string& path, std::vector<double>* data);
+[[nodiscard]] Status WriteDoublesBinary(const std::string& path,
+                                        const std::vector<double>& data);
+[[nodiscard]] Status ReadDoublesBinary(const std::string& path,
+                                       std::vector<double>* data);
 
-Status WriteDoublesCsv(const std::string& path,
-                       const std::vector<double>& data);
-Status ReadDoublesCsv(const std::string& path, std::vector<double>* data);
+[[nodiscard]] Status WriteDoublesCsv(const std::string& path,
+                                     const std::vector<double>& data);
+[[nodiscard]] Status ReadDoublesCsv(const std::string& path,
+                                    std::vector<double>* data);
 
 // Synopsis persistence: a small binary format (magic, domain size, then
 // (index, value) pairs) so a built synopsis can be shipped to query-serving
 // processes.
-Status WriteSynopsis(const std::string& path, const Synopsis& synopsis);
-Status ReadSynopsis(const std::string& path, Synopsis* synopsis);
+[[nodiscard]] Status WriteSynopsis(const std::string& path,
+                                   const Synopsis& synopsis);
+[[nodiscard]] Status ReadSynopsis(const std::string& path,
+                                  Synopsis* synopsis);
 
 }  // namespace dwm
 

@@ -20,10 +20,8 @@ DistSynopsisResult RunCon(const std::vector<double>& data, int64_t budget,
   const int64_t num_base = partition.num_base;
 
   // Reducer-scoped state (a Hadoop reducer would hold this across its
-  // reduce() calls and finish in cleanup()). Thread-safe with the threaded
-  // executor: num_reducers == 1, so all reduce() calls run on one worker
-  // thread, and the join before RunJob returns orders them against the
-  // driver's reads below.
+  // reduce() calls and finish in cleanup()); the dwm-analyze suppressions
+  // on the mutation sites below carry the thread-safety argument.
   std::vector<double> averages(static_cast<size_t>(num_base), 0.0);
   dist_internal::TopBySignificance top(budget);
 
@@ -51,8 +49,10 @@ DistSynopsisResult RunCon(const std::vector<double>& data, int64_t budget,
                     std::vector<int64_t>*) {
     DWM_CHECK_EQ(values.size(), 1u);
     if (key < 0) {
+      // dwm-analyze: allow(lambda-capture): num_reducers == 1 serializes reduce()
       averages[static_cast<size_t>(-key - 1)] = values[0];
     } else {
+      // dwm-analyze: allow(lambda-capture): num_reducers == 1 serializes reduce()
       top.Offer(key, values[0]);
     }
   };

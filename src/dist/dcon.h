@@ -15,9 +15,9 @@
 namespace dwm {
 
 // `base_leaves` is the aligned mapper slice size (a power of two).
-DistSynopsisResult RunCon(const std::vector<double>& data, int64_t budget,
-                          int64_t base_leaves,
-                          const mr::ClusterConfig& cluster);
+[[nodiscard]] DistSynopsisResult RunCon(const std::vector<double>& data, int64_t budget,
+                                        int64_t base_leaves,
+                                        const mr::ClusterConfig& cluster);
 
 }  // namespace dwm
 

@@ -160,7 +160,9 @@ DGreedyResult RunDGreedy(const DGreedyContext& ctx,
                       std::vector<std::pair<double, double>>& values,
                       std::vector<int64_t>*) {
       DWM_CHECK_EQ(values.size(), 1u);
+      // dwm-analyze: allow(lambda-capture): num_reducers == 1 serializes reduce()
       averages[static_cast<size_t>(t)] = values[0].first;
+      // dwm-analyze: allow(lambda-capture): num_reducers == 1 serializes reduce()
       min_weights[static_cast<size_t>(t)] = values[0].second;
     };
     mr::JobStats stats;

@@ -59,14 +59,14 @@ struct DGreedyResult {
 };
 
 // Maximum absolute error variant.
-DGreedyResult DGreedyAbs(const std::vector<double>& data,
-                         const DGreedyOptions& options,
-                         const mr::ClusterConfig& cluster);
+[[nodiscard]] DGreedyResult DGreedyAbs(const std::vector<double>& data,
+                                       const DGreedyOptions& options,
+                                       const mr::ClusterConfig& cluster);
 
 // Maximum relative error variant (GreedyRel at the workers, Section 5.4).
-DGreedyResult DGreedyRel(const std::vector<double>& data,
-                         const DGreedyOptions& options, double sanity,
-                         const mr::ClusterConfig& cluster);
+[[nodiscard]] DGreedyResult DGreedyRel(const std::vector<double>& data,
+                                       const DGreedyOptions& options, double sanity,
+                                       const mr::ClusterConfig& cluster);
 
 }  // namespace dwm
 

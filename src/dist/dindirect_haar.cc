@@ -64,8 +64,10 @@ Status LowerBoundJob(const std::vector<double>& data, int64_t budget,
   spec.reduce = [&](const int64_t& key, std::vector<double>& values,
                     std::vector<int64_t>*) {
     if (key < 0) {
+      // dwm-analyze: allow(lambda-capture): num_reducers == 1 serializes reduce()
       averages[static_cast<size_t>(-key - 1)] = values[0];
     } else {
+      // dwm-analyze: allow(lambda-capture): num_reducers == 1 serializes reduce()
       magnitudes.insert(magnitudes.end(), values.begin(), values.end());
     }
   };
@@ -117,6 +119,7 @@ Status MaxAbsJob(const std::vector<double>& data, const Synopsis& synopsis,
   };
   spec.reduce = [&](const int64_t&, std::vector<double>& values,
                     std::vector<int64_t>*) {
+    // dwm-analyze: allow(lambda-capture): num_reducers == 1 serializes reduce()
     for (double v : values) global_max = std::max(global_max, v);
   };
   std::vector<int64_t> splits(static_cast<size_t>(n / base_leaves));

@@ -30,9 +30,9 @@ struct DIndirectHaarResult {
   Status status;
 };
 
-DIndirectHaarResult DIndirectHaar(const std::vector<double>& data,
-                                  const DIndirectHaarOptions& options,
-                                  const mr::ClusterConfig& cluster);
+[[nodiscard]] DIndirectHaarResult DIndirectHaar(const std::vector<double>& data,
+                                                const DIndirectHaarOptions& options,
+                                                const mr::ClusterConfig& cluster);
 
 }  // namespace dwm
 

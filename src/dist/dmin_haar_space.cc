@@ -101,26 +101,27 @@ DmhsResult DMinHaarSpace(const std::vector<double>& data,
       }
       emit(last ? 0 : task / fan, {last ? task : task % fan, std::move(row)});
     };
-    // Thread-safe with the threaded executor even at num_reducers > 1: each
-    // reduce() call writes only stage_inputs[s + 1][key] (or final_rows when
-    // there is a single reducer), and `key` is reducer-partitioned, so
-    // concurrent reducers touch disjoint elements of a pre-sized vector.
     spec.reduce = [&, s, last](const int64_t& key,
                                std::vector<std::pair<int64_t, mhs::Row>>& rows,
                                std::vector<int64_t>*) {
       if (last) {
+        // dwm-analyze: allow(lambda-capture): last stage has one task, so one reducer
         final_rows.resize(rows.size());
         for (auto& [pos, row] : rows) {
+          // dwm-analyze: allow(lambda-capture): last stage has one task, so one reducer
           final_rows[static_cast<size_t>(pos)] = std::move(row);
         }
       } else {
+        // dwm-analyze: allow(lambda-capture): writes only stage_inputs[s+1][key]; key is reducer-partitioned, so concurrent reducers touch disjoint elements
         auto& inputs = stage_inputs[static_cast<size_t>(s + 1)]
                                    [static_cast<size_t>(key)];
         // The next stage's task consumes `fan` children, except when this
         // whole stage feeds a single final task with fewer outputs.
+        // dwm-analyze: allow(lambda-capture): sizes only stage_inputs[s+1][key], this reducer's disjoint slot
         inputs.resize(static_cast<size_t>(
             std::min(fan, tasks[static_cast<size_t>(s)])));
         for (auto& [pos, row] : rows) {
+          // dwm-analyze: allow(lambda-capture): writes only stage_inputs[s+1][key], this reducer's disjoint slot
           inputs[static_cast<size_t>(pos)] = std::move(row);
         }
       }
@@ -264,10 +265,12 @@ DmhsResult DMinHaarSpace(const std::vector<double>& data,
                       std::vector<int64_t>*) {
       if (key == -1) {
         for (const auto& [index, value] : values) {
+          // dwm-analyze: allow(lambda-capture): num_reducers == 1 serializes reduce()
           coeffs.push_back({index, value});
         }
       } else {
         DWM_CHECK_EQ(values.size(), 1u);
+        // dwm-analyze: allow(lambda-capture): num_reducers == 1 serializes reduce()
         next_assignments[key] = values[0].first;
       }
     };

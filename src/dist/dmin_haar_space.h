@@ -34,9 +34,9 @@ struct DmhsResult {
   Status status;
 };
 
-DmhsResult DMinHaarSpace(const std::vector<double>& data,
-                         const DmhsOptions& options,
-                         const mr::ClusterConfig& cluster);
+[[nodiscard]] DmhsResult DMinHaarSpace(const std::vector<double>& data,
+                                       const DmhsOptions& options,
+                                       const mr::ClusterConfig& cluster);
 
 }  // namespace dwm
 

@@ -89,7 +89,9 @@ DMinMaxVarResult DMinMaxVar(const std::vector<double>& data,
                       std::vector<std::pair<double, mmv::Row>>& values,
                       std::vector<int64_t>*) {
       DWM_CHECK_EQ(values.size(), 1u);
+      // dwm-analyze: allow(lambda-capture): num_reducers == 1 serializes reduce()
       averages[static_cast<size_t>(t)] = values[0].first;
+      // dwm-analyze: allow(lambda-capture): num_reducers == 1 serializes reduce()
       base_rows[static_cast<size_t>(t)] = std::move(values[0].second);
     };
     mr::JobStats stats;
@@ -186,7 +188,9 @@ DMinMaxVarResult DMinMaxVar(const std::vector<double>& data,
                       std::vector<std::pair<double, int64_t>>& values,
                       std::vector<Coefficient>* result) {
       for (const auto& [c, node] : values) {
+        // dwm-analyze: allow(lambda-capture): num_reducers == 1 serializes reduce()
         spent_units += y_units;
+        // dwm-analyze: allow(lambda-capture): num_reducers == 1 serializes reduce()
         out.result.allocations.push_back(
             {node, static_cast<int32_t>(y_units)});
         if (mmv::RetainCoin(options.seed, node, static_cast<int32_t>(y_units), q) &&

@@ -31,10 +31,10 @@ struct DMinMaxVarResult {
 
 // `base_leaves` is the leaves-per-base-sub-tree partition parameter (a
 // power of two, >= 2, <= n/2).
-DMinMaxVarResult DMinMaxVar(const std::vector<double>& data,
-                            const MinMaxVarOptions& options,
-                            int64_t base_leaves,
-                            const mr::ClusterConfig& cluster);
+[[nodiscard]] DMinMaxVarResult DMinMaxVar(const std::vector<double>& data,
+                                          const MinMaxVarOptions& options,
+                                          int64_t base_leaves,
+                                          const mr::ClusterConfig& cluster);
 
 }  // namespace dwm
 

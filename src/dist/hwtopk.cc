@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <unordered_map>
-#include <unordered_set>
+#include <map>
+#include <set>
 
 #include "common/bits.h"
 #include "common/audit.h"
@@ -64,7 +64,9 @@ std::vector<Partial> ComputePartials(const std::vector<double>& data,
     return prefix[static_cast<size_t>(hi - begin)] -
            prefix[static_cast<size_t>(lo - begin)];
   };
-  std::unordered_set<int64_t> straddle;
+  // Ordered: iteration order feeds the emitted partials order, which must
+  // not depend on hash seeding.
+  std::set<int64_t> straddle;
   for (int64_t boundary : {begin, end - 1}) {
     for (int64_t node = LeafParent(n, boundary); node >= 1; node >>= 1) {
       const LeafRange range = NodeLeafRange(n, node);
@@ -110,8 +112,10 @@ DistSynopsisResult RunHWTopk(const std::vector<double>& data, int64_t budget,
   }
   const int64_t m = static_cast<int64_t>(splits.size());
 
-  // Reducer-side state carried across the three rounds.
-  std::unordered_map<int64_t, std::unordered_map<int64_t, double>> known;
+  // Reducer-side state carried across the three rounds. Ordered maps: the
+  // T1/T2 threshold sums and the finalize loop iterate these, and their
+  // order must be identical run to run for byte-identical synopses.
+  std::map<int64_t, std::map<int64_t, double>> known;
   std::vector<double> kth_high(static_cast<size_t>(m), 0.0);
   std::vector<double> kth_low(static_cast<size_t>(m), 0.0);
   std::vector<char> sent_all(static_cast<size_t>(m), 0);
@@ -138,10 +142,13 @@ DistSynopsisResult RunHWTopk(const std::vector<double>& data, int64_t budget,
                       std::vector<int64_t>*) {
       for (const auto& [mapper, v] : values) {
         if (key == -1) {
+          // dwm-analyze: allow(lambda-capture): num_reducers == 1; reducer-scoped state
           kth_high[static_cast<size_t>(mapper)] = v;
         } else if (key == -2) {
+          // dwm-analyze: allow(lambda-capture): num_reducers == 1; reducer-scoped state
           kth_low[static_cast<size_t>(mapper)] = v;
         } else {
+          // dwm-analyze: allow(lambda-capture): num_reducers == 1; reducer-scoped state
           known[key][mapper] = v;
         }
       }
@@ -195,7 +202,7 @@ DistSynopsisResult RunHWTopk(const std::vector<double>& data, int64_t budget,
   // may hold up to T1/m unseen), cap_exclusive to single-owner ones (the
   // owner emits in round 2 whenever |v| > T1, so unseen means <= T1).
   auto tau_bounds = [&](int64_t x,
-                        const std::unordered_map<int64_t, double>& values,
+                        const std::map<int64_t, double>& values,
                         const std::vector<double>& high,
                         const std::vector<double>& low, double cap_shared,
                         double cap_exclusive) -> std::pair<double, double> {
@@ -265,7 +272,7 @@ DistSynopsisResult RunHWTopk(const std::vector<double>& data, int64_t budget,
                         : 0.0);
   }
   const double t2 = kth_largest(std::move(taus2));
-  std::unordered_set<int64_t> candidates;
+  std::set<int64_t> candidates;
   for (const auto& [x, bounds] : refined) {
     if (std::max(std::abs(bounds.first), std::abs(bounds.second)) >= t2) {
       candidates.insert(x);

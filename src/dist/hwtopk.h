@@ -17,9 +17,9 @@
 
 namespace dwm {
 
-DistSynopsisResult RunHWTopk(const std::vector<double>& data, int64_t budget,
-                             int64_t num_mappers,
-                             const mr::ClusterConfig& cluster);
+[[nodiscard]] DistSynopsisResult RunHWTopk(const std::vector<double>& data, int64_t budget,
+                                           int64_t num_mappers,
+                                           const mr::ClusterConfig& cluster);
 
 }  // namespace dwm
 

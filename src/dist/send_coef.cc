@@ -66,6 +66,7 @@ DistSynopsisResult RunSendCoef(const std::vector<double>& data, int64_t budget,
                     std::vector<int64_t>*) {
     double total = 0.0;
     for (double v : values) total += v;
+    // dwm-analyze: allow(lambda-capture): num_reducers == 1 serializes reduce()
     top.Offer(key, total);
   };
 

@@ -16,9 +16,9 @@
 
 namespace dwm {
 
-DistSynopsisResult RunSendCoef(const std::vector<double>& data, int64_t budget,
-                               int64_t num_mappers,
-                               const mr::ClusterConfig& cluster);
+[[nodiscard]] DistSynopsisResult RunSendCoef(const std::vector<double>& data, int64_t budget,
+                                             int64_t num_mappers,
+                                             const mr::ClusterConfig& cluster);
 
 }  // namespace dwm
 

@@ -38,6 +38,7 @@ DistSynopsisResult RunSendV(const std::vector<double>& data, int64_t budget,
   spec.reduce = [&](const int64_t& key, std::vector<double>& values,
                     std::vector<int64_t>*) {
     DWM_CHECK_EQ(values.size(), 1u);
+    // dwm-analyze: allow(lambda-capture): num_reducers == 1 serializes reduce()
     collected[static_cast<size_t>(key)] = values[0];
   };
 

@@ -13,9 +13,9 @@
 
 namespace dwm {
 
-DistSynopsisResult RunSendV(const std::vector<double>& data, int64_t budget,
-                            int64_t num_mappers,
-                            const mr::ClusterConfig& cluster);
+[[nodiscard]] DistSynopsisResult RunSendV(const std::vector<double>& data, int64_t budget,
+                                          int64_t num_mappers,
+                                          const mr::ClusterConfig& cluster);
 
 }  // namespace dwm
 

@@ -61,7 +61,7 @@ struct ClusterConfig {
   // worker_threads >= 0, speculative_slowness_threshold either 0 (off) or
   // >= 1. RunJobOr calls this and returns the error instead of
   // CHECK-aborting on a misconfiguration.
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 };
 
 // Effective engine concurrency for a ClusterConfig::worker_threads value

@@ -83,7 +83,7 @@ class FaultPlan {
   // straggle=0.05, slowdown=4, node_loss=0.01, nodes=8); seed 0 is valid
   // and still injects. Returns InvalidArgument on malformed text without
   // touching *plan.
-  static Status Parse(const std::string& text, FaultPlan* plan);
+  [[nodiscard]] static Status Parse(const std::string& text, FaultPlan* plan);
 
   // True when this plan can inject at least one fault kind.
   bool active() const { return active_ && spec_.any(); }
@@ -119,7 +119,7 @@ class FaultPlan {
 // Parses DWM_FAULTS from the environment into *plan. Unset or empty yields
 // an inert plan and OK; malformed text yields InvalidArgument (callers
 // should warn and proceed fault-free, not die).
-Status FaultPlanFromEnv(FaultPlan* plan);
+[[nodiscard]] Status FaultPlanFromEnv(FaultPlan* plan);
 
 // The plan the engine should obey for a job configured with `config_plan`:
 // a Disabled() plan wins (no injection), an active plan wins, otherwise the

@@ -158,10 +158,11 @@ void PublishJobMetrics(const JobStats& stats, bool faults_active);
 // is empty on error and `stats` still carries the attempt histories of the
 // doomed run.
 template <typename Split, typename K, typename V, typename Out>
-Status RunJobOr(const JobSpec<Split, K, V, Out>& spec,
-                const std::vector<Split>& splits, const ClusterConfig& config,
-                std::vector<Out>* output, JobStats* stats,
-                Counters* counters = nullptr) {
+[[nodiscard]] Status RunJobOr(const JobSpec<Split, K, V, Out>& spec,
+                              const std::vector<Split>& splits,
+                              const ClusterConfig& config,
+                              std::vector<Out>* output, JobStats* stats,
+                              Counters* counters = nullptr) {
   DWM_CHECK(output != nullptr);
   DWM_CHECK(stats != nullptr);
   DWM_CHECK_GE(spec.num_reducers, 1);
@@ -574,6 +575,7 @@ std::vector<Out> RunJob(const JobSpec<Split, K, V, Out>& spec,
   }
   // Aborting is this wrapper's documented contract, not a recoverable
   // path: callers that want the Status use RunJobOr.
+  // dwm-analyze: allow(recoverable-check): RunJob's documented contract is to abort; RunJobOr is the Status-returning path
   DWM_CHECK(status.ok());  // dwm-lint: allow(mr-recoverable-check)
   return output;
 }

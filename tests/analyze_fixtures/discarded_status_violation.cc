@@ -1,0 +1,17 @@
+// Seeded violation for the `discarded-status` rule: a Status-returning call
+// used as a bare expression statement. The registry of Status-returning
+// functions is built from the analyzed files themselves, so this fixture is
+// self-contained.
+// Analyzer input only; never compiled.
+
+namespace dwm {
+
+class Status;
+
+Status WriteCheckpoint(const char* path);
+
+void Shutdown(const char* path) {
+  WriteCheckpoint(path);  // violation: Status dropped on the floor
+}
+
+}  // namespace dwm

@@ -1,0 +1,42 @@
+// Clean-pass fixture: the same constructs the violation fixtures seed,
+// written compliantly — ordered containers on emit paths, a suppressed
+// reducer-scoped mutation with a reason, a consumed Status.
+// Analyzer input only; never compiled.
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace dwm {
+
+class Status;
+
+void Emit(int64_t key, double value);
+Status WriteCheckpoint(const char* path);
+
+struct FakeJobSpec {
+  void* reduce = nullptr;
+  int num_reducers = 1;
+};
+
+void ForwardTotals(const std::map<int64_t, double>& totals) {
+  for (const auto& [key, value] : totals) {
+    Emit(key, 2.0 * value);
+  }
+}
+
+void BuildJob(std::vector<double>& collected) {
+  FakeJobSpec spec;
+  spec.num_reducers = 1;
+  spec.reduce = [&](const int64_t& key, std::vector<double>& values,
+                    std::vector<int64_t>*) {
+    // dwm-analyze: allow(lambda-capture): num_reducers == 1 serializes reduce()
+    collected[static_cast<size_t>(key)] = values[0];
+  };
+}
+
+bool Checkpoint(const char* path) {
+  const Status st = WriteCheckpoint(path);
+  return st.ok();
+}
+
+}  // namespace dwm

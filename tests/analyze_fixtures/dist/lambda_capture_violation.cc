@@ -1,0 +1,21 @@
+// Seeded violation for the `lambda-capture` rule: a map closure handed to
+// a JobSpec mutates state captured by reference with no suppression.
+// Analyzer input only; never compiled.
+#include <cstdint>
+#include <vector>
+
+namespace dwm {
+
+struct FakeJobSpec {
+  void* map = nullptr;
+};
+
+void BuildJob(std::vector<double>& shared) {
+  FakeJobSpec spec;
+  spec.map = [&](int64_t task, const int64_t& split, const auto& emit) {
+    shared.push_back(static_cast<double>(task));  // violation: shared write
+    emit(split, 1.0);
+  };
+}
+
+}  // namespace dwm

@@ -1,0 +1,16 @@
+// Seeded violation for the `recoverable-check` rule: a DWM_CHECK whose
+// condition involves a Status-typed local — the regex-proof case (no token
+// spells "status"; only type resolution catches it).
+// Analyzer input only; never compiled.
+
+namespace dwm {
+
+class Status;
+Status LoadPlan(const char* text);
+
+void ApplyPlan(const char* text) {
+  const Status st = LoadPlan(text);
+  DWM_CHECK(st.ok());  // violation: recoverable condition aborts
+}
+
+}  // namespace dwm

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""analysis_budget: findings-budget gate for the auxiliary static-analysis
+CI legs (cppcheck, GCC -fanalyzer).
+
+The budget file (tools/analysis_budget.json) commits the accepted number of
+findings per check id per tool. The gate is a one-way ratchet:
+
+  * a check id whose count exceeds its budget fails the job (new findings
+    are fatal even though the legs started "non-fatal": the pre-existing
+    findings are exactly what the budget grandfathers in);
+  * a check id absent from the budget has budget 0, so any brand-new kind
+    of finding also fails;
+  * counts below budget pass and print a ratchet hint — lower the budget in
+    the same change that fixes the findings so they cannot creep back.
+
+Usage:
+  cppcheck --template='{file}:{line}: cppcheck[{id}] {severity}: {message}' \
+      ... 2> report.txt
+  analysis_budget.py --tool cppcheck --report report.txt \
+      --budget tools/analysis_budget.json
+
+  g++ -fanalyzer -fsyntax-only ... 2> report.txt   # per TU, concatenated
+  analysis_budget.py --tool gcc-fanalyzer --report report.txt \
+      --budget tools/analysis_budget.json
+
+`--update` rewrites the budget entry for the tool to the observed counts
+(the ratchet action; review the diff before committing).
+
+Exit status: 0 within budget, 1 over budget, 2 usage error.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+PARSERS = {
+    # Lines produced by the --template above; the marker avoids counting
+    # file paths or messages that merely contain brackets.
+    "cppcheck": re.compile(r"cppcheck\[([A-Za-z0-9_:-]+)\]"),
+    # GCC diagnostics tag analyzer findings with [-Wanalyzer-...].
+    "gcc-fanalyzer": re.compile(r"\[-W(analyzer-[a-z-]+)\]"),
+}
+
+
+def count_findings(tool, report_text):
+    counts = {}
+    pattern = PARSERS[tool]
+    for match in pattern.finditer(report_text):
+        counts[match.group(1)] = counts.get(match.group(1), 0) + 1
+    return counts
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tool", required=True, choices=sorted(PARSERS),
+                        help="which tool produced the report")
+    parser.add_argument("--report", required=True,
+                        help="file holding the tool's diagnostic output")
+    parser.add_argument("--budget", required=True,
+                        help="committed budget JSON (tool -> id -> count)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the tool's budget to observed counts")
+    args = parser.parse_args()
+
+    try:
+        with open(args.report, encoding="utf-8", errors="replace") as f:
+            report_text = f.read()
+    except OSError as e:
+        print(f"analysis_budget: cannot read report: {e}", file=sys.stderr)
+        return 2
+    try:
+        with open(args.budget, encoding="utf-8") as f:
+            budgets = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"analysis_budget: cannot read budget: {e}", file=sys.stderr)
+        return 2
+
+    counts = count_findings(args.tool, report_text)
+    budget = {k: v for k, v in budgets.get(args.tool, {}).items()
+              if not k.startswith("_")}
+
+    if args.update:
+        budgets[args.tool] = dict(sorted(counts.items()))
+        with open(args.budget, "w", encoding="utf-8") as f:
+            json.dump(budgets, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"analysis_budget: {args.budget} updated for {args.tool}: "
+              f"{sum(counts.values())} finding(s) across "
+              f"{len(counts)} check(s)")
+        return 0
+
+    failed = False
+    for check in sorted(set(counts) | set(budget)):
+        have = counts.get(check, 0)
+        allowed = budget.get(check, 0)
+        if have > allowed:
+            print(f"analysis_budget: {args.tool}/{check}: {have} finding(s) "
+                  f"exceeds budget {allowed}"
+                  + ("" if check in budget else " (unbudgeted check)"))
+            failed = True
+        elif have < allowed:
+            print(f"analysis_budget: {args.tool}/{check}: {have} < budget "
+                  f"{allowed}; ratchet the budget down "
+                  f"(--update rewrites it)")
+    if failed:
+        return 1
+    print(f"analysis_budget: {args.tool} within budget "
+          f"({sum(counts.values())} finding(s), "
+          f"budget {sum(budget.values())})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

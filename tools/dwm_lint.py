@@ -29,6 +29,12 @@ Checks (each can be suppressed per line with `// dwm-lint: allow(<rule>)`):
                   referenced as `TaskPhase::kFoo` by the trace layer
                   (src/mr/trace.cc): a new MR phase that never becomes
                   a span silently vanishes from every exported trace.
+  stale-analyze-suppression
+                  Every `dwm-analyze: allow(<rule>)` comment names a
+                  rule tools/dwm_analyze.py still defines (checked
+                  against its --list-rules output): a suppression for
+                  a renamed or deleted rule is dead weight that would
+                  silently stop suppressing if the rule came back.
 
 Exit status is non-zero iff any finding is reported, so the tool can run as
 a ctest test and as a CI job.
@@ -37,6 +43,7 @@ a ctest test and as a CI job.
 import argparse
 import os
 import re
+import subprocess
 import sys
 
 CXX_SUFFIXES = (".h", ".cc", ".cpp")
@@ -44,6 +51,7 @@ SOURCE_DIRS = ("src", "tests", "bench", "examples", "tools")
 BANNED_FUNCTIONS = ("rand", "atoi", "strcpy")
 
 ALLOW_RE = re.compile(r"//\s*dwm-lint:\s*allow\(([a-z-]+)\)")
+ANALYZE_ALLOW_RE = re.compile(r"//\s*dwm-analyze:\s*allow\(([A-Za-z0-9_-]+)\)")
 
 
 class Findings:
@@ -352,6 +360,37 @@ def check_dist_quality_metrics(findings, root):
                          "(see dist/dist_common.h)")
 
 
+def analyze_rule_names(root):
+    """The rule registry of tools/dwm_analyze.py (its --list-rules output),
+    or None when the analyzer is missing or unrunnable."""
+    script = os.path.join(root, "tools", "dwm_analyze.py")
+    if not os.path.isfile(script):
+        return None
+    try:
+        proc = subprocess.run([sys.executable, script, "--list-rules"],
+                              capture_output=True, text=True, timeout=60)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if proc.returncode != 0:
+        return None
+    rules = {line.strip() for line in proc.stdout.splitlines() if line.strip()}
+    return rules or None
+
+
+def check_stale_analyze_suppressions(findings, rel_path, raw_lines, rules):
+    for idx, raw in enumerate(raw_lines, start=1):
+        for rule in ANALYZE_ALLOW_RE.findall(raw):
+            if rule in rules:
+                continue
+            if "stale-analyze-suppression" in allowed_rules(raw):
+                continue
+            findings.add(rel_path, idx, "stale-analyze-suppression",
+                         f"dwm-analyze: allow({rule}) names a rule "
+                         "dwm_analyze no longer defines (see "
+                         "tools/dwm_analyze.py --list-rules); delete or "
+                         "update the suppression")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--root", default=".",
@@ -368,6 +407,16 @@ def main():
         return 2
 
     findings = Findings()
+    analyze_rules = analyze_rule_names(root)
+    if analyze_rules is None:
+        # Same philosophy as the wrong-root guard above: a missing analyzer
+        # must not silently disable the stale-suppression check.
+        findings.add(os.path.join("tools", "dwm_analyze.py"), 1,
+                     "stale-analyze-suppression",
+                     "tools/dwm_analyze.py --list-rules did not produce a "
+                     "rule registry; cannot validate dwm-analyze "
+                     "suppressions")
+        analyze_rules = set()
     for rel_path in iter_sources(root):
         with open(os.path.join(root, rel_path), encoding="utf-8") as f:
             text = f.read()
@@ -380,6 +429,8 @@ def main():
             check_no_float(findings, rel_path, raw_lines, code_lines)
         check_banned_functions(findings, rel_path, raw_lines, code_lines)
         check_mr_recoverable(findings, rel_path, raw_lines, code_lines)
+        check_stale_analyze_suppressions(findings, rel_path, raw_lines,
+                                         analyze_rules)
     check_serde(findings, root)
     check_trace_phase_spans(findings, root)
     check_dist_quality_metrics(findings, root)
