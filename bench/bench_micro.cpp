@@ -69,6 +69,36 @@ void BM_GreedyRel(benchmark::State& state) {
 }
 BENCHMARK(BM_GreedyRel)->Range(1 << 10, 1 << 14);
 
+// The bottom-up combine kernel in isolation (pair rows precomputed): what
+// bench_kernels gates as kernels/mhs-combine.
+void BM_MhsBuildRowHeap(benchmark::State& state) {
+  const auto data = Data(state.range(0));
+  std::vector<dwm::mhs::Row> pairs(static_cast<size_t>(state.range(0) / 2));
+  for (int64_t u = 0; u < state.range(0) / 2; ++u) {
+    pairs[static_cast<size_t>(u)] =
+        dwm::mhs::PairRow(data[static_cast<size_t>(2 * u)],
+                          data[static_cast<size_t>(2 * u + 1)], 50.0, 5.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dwm::mhs::BuildRowHeap(pairs));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MhsBuildRowHeap)->Range(1 << 10, 1 << 16);
+
+// The greedy discard loop in isolation (transform precomputed): what
+// bench_kernels gates as kernels/greedy-run.
+void BM_GreedyAbsTreeRun(benchmark::State& state) {
+  const auto coeffs = dwm::ForwardHaar(Data(state.range(0)));
+  for (auto _ : state) {
+    dwm::GreedyAbsTree tree(coeffs, /*has_average=*/true,
+                            /*initial_error=*/0.0);
+    benchmark::DoNotOptimize(tree.Run());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GreedyAbsTreeRun)->Range(1 << 10, 1 << 16);
+
 void BM_MinHaarSpace(benchmark::State& state) {
   const auto data = Data(state.range(0));
   for (auto _ : state) {

@@ -22,10 +22,13 @@ inline int Log2Exact(uint64_t x) {
   return Log2Floor(x);
 }
 
-// Smallest power of two >= x (x >= 1).
+// Smallest power of two >= x (1 <= x <= 2^63). Values above 2^63 have no
+// representable successor power of two; the shift by Log2Floor(x) + 1 == 64
+// would be UB, so the range is CHECK-enforced instead of silently wrapping.
 inline uint64_t NextPowerOfTwo(uint64_t x) {
   DWM_CHECK_GE(x, 1u);
   if (IsPowerOfTwo(x)) return x;
+  DWM_CHECK_LE(x, uint64_t{1} << 63);
   return uint64_t{1} << (Log2Floor(x) + 1);
 }
 

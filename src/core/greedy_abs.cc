@@ -1,12 +1,15 @@
 #include "core/greedy_abs.h"
 
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
 #include <algorithm>
 #include <cmath>
 #include <limits>
 
 #include "common/bits.h"
 #include "common/check.h"
-#include "core/indexed_heap.h"
 #include "wavelet/haar.h"
 
 namespace dwm {
@@ -37,47 +40,125 @@ double GreedyAbsTree::MaxPotentialError(int64_t slot) const {
                   std::max(std::abs(s.max_r + c), std::abs(s.min_r + c)));
 }
 
-void GreedyAbsTree::ShiftSubtree(int64_t slot, double delta) {
-  // Shifts the stored extrema of every node in the subtree rooted at `slot`
-  // (all of its leaves move by the same signed amount).
-  if (slot >= num_leaves_) return;
-  NodeState& s = st_[static_cast<size_t>(slot)];
-  s.max_l += delta;
-  s.min_l += delta;
-  s.max_r += delta;
-  s.min_r += delta;
-  if (!IsBottom(slot)) {
-    ShiftSubtree(2 * slot, delta);
-    ShiftSubtree(2 * slot + 1, delta);
+bool GreedyAbsTree::UpdateBest(int64_t slot) {
+  double bk = key_[static_cast<size_t>(slot)];
+  int64_t bi = slot;
+  const int64_t c = 2 * slot;
+  if (c < num_leaves_) {
+    const BestPair l = best_[static_cast<size_t>(c)];
+    if (l.key < bk || (l.key == bk && l.id < bi)) {
+      bk = l.key;
+      bi = l.id;
+    }
+    const BestPair r = best_[static_cast<size_t>(c + 1)];
+    if (r.key < bk || (r.key == bk && r.id < bi)) {
+      bk = r.key;
+      bi = r.id;
+    }
+  }
+  BestPair& self = best_[static_cast<size_t>(slot)];
+  const bool changed = bk != self.key || bi != self.id;
+  self.key = bk;
+  self.id = bi;
+  return changed;
+}
+
+void GreedyAbsTree::ShiftAndRefresh(int64_t slot, double delta) {
+  // One reverse level-order sweep, deepest level first: at depth h the
+  // subtree of `slot` is the contiguous slot range [slot << h,
+  // (slot + 1) << h), so every level is a streaming pass over the flat st_
+  // array. Shifts and key recomputes are per-node independent, and walking
+  // the levels children-first lets the same pass rebuild the subtree's
+  // min-aggregates in place (a node's children finished one level earlier),
+  // so the whole refresh is a single traversal. The discard sequence cannot
+  // depend on the refresh order because the selected minimum is the
+  // (key, id) minimum over alive slots, a function of the key set alone.
+  const double inf = std::numeric_limits<double>::infinity();
+  int64_t lo = slot;
+  int64_t hi = slot + 1;
+  while (2 * lo < num_leaves_) {
+    lo *= 2;
+    hi *= 2;
+  }
+  for (; lo >= slot; lo /= 2, hi /= 2) {
+    const bool has_children = 2 * lo < num_leaves_;
+#if defined(__SSE2__)
+    // Fused shift + key recompute. The key uses the interval form of
+    // Equation 8: for an interval [mn, mx] the farthest point from 0 after
+    // shifting by -c (left) or +c (right) is max(mx - c, c - mn) resp.
+    // max(mx + c, -mn - c) — the same value the abs form yields (their
+    // zeros can differ in sign, which no comparison distinguishes).
+    const __m128d vdelta = _mm_set1_pd(delta);
+    const __m128d vneglow = _mm_set_pd(-0.0, 0.0);  // negates lane 1 (mins)
+    for (int64_t s = lo; s < hi; ++s) {
+      double* const p = &st_[static_cast<size_t>(s)].max_l;
+      const double c = c_[static_cast<size_t>(s)];
+      const __m128d m1 = _mm_add_pd(_mm_loadu_pd(p), vdelta);
+      const __m128d m2 = _mm_add_pd(_mm_loadu_pd(p + 2), vdelta);
+      _mm_storeu_pd(p, m1);
+      _mm_storeu_pd(p + 2, m2);
+      const __m128d vc = _mm_set_pd(c, -c);  // (-c, +c) in lane order
+      const __m128d u = _mm_add_pd(_mm_xor_pd(m1, vneglow), vc);
+      const __m128d w =
+          _mm_max_pd(u, _mm_sub_pd(_mm_xor_pd(m2, vneglow), vc));
+      const double key = _mm_cvtsd_f64(_mm_max_sd(w, _mm_unpackhi_pd(w, w)));
+      double& kref = key_[static_cast<size_t>(s)];
+      const double k = (kref != inf) ? key : inf;
+      kref = k;
+      double bk = k;
+      int64_t bi = s;
+      if (has_children) {
+        const BestPair l = best_[static_cast<size_t>(2 * s)];
+        if (l.key < bk || (l.key == bk && l.id < bi)) {
+          bk = l.key;
+          bi = l.id;
+        }
+        const BestPair r = best_[static_cast<size_t>(2 * s + 1)];
+        if (r.key < bk || (r.key == bk && r.id < bi)) {
+          bk = r.key;
+          bi = r.id;
+        }
+      }
+      best_[static_cast<size_t>(s)] = {bk, bi};
+    }
+#else
+    for (int64_t s = lo; s < hi; ++s) {
+      NodeState& t = st_[static_cast<size_t>(s)];
+      t.max_l += delta;
+      t.min_l += delta;
+      t.max_r += delta;
+      t.min_r += delta;
+      if (key_[static_cast<size_t>(s)] != inf) {
+        key_[static_cast<size_t>(s)] = MaxPotentialError(s);
+      }
+      UpdateBest(s);
+    }
+#endif
   }
 }
 
-void GreedyAbsTree::ReaggregateAncestors(int64_t slot) {
-  for (int64_t a = slot / 2; a >= 1; a /= 2) {
-    const NodeState& left = st_[static_cast<size_t>(2 * a)];
-    const NodeState& right = st_[static_cast<size_t>(2 * a + 1)];
-    NodeState& s = st_[static_cast<size_t>(a)];
-    s.max_l = std::max(left.max_l, left.max_r);
-    s.min_l = std::min(left.min_l, left.min_r);
-    s.max_r = std::max(right.max_l, right.max_r);
-    s.min_r = std::min(right.min_l, right.min_r);
-  }
-  if (has_average_) {
-    const NodeState& top = st_[1];
-    NodeState& s = st_[0];
-    s.max_l = std::max(top.max_l, top.max_r);
-    s.min_l = std::min(top.min_l, top.min_r);
-    s.max_r = s.max_l;
-    s.min_r = s.min_l;
-  }
-}
-
-void GreedyAbsTree::Discard(int64_t slot) {
+void GreedyAbsTree::DiscardAndRefresh(int64_t slot) {
+  const double inf = std::numeric_limits<double>::infinity();
   const double c = c_[static_cast<size_t>(slot)];
+  // A zero coefficient moves nothing: every extremum keeps its value and
+  // every key is unchanged, so most of the walks can be skipped. (The
+  // reference formulation would add +/-0.0 everywhere, which can at most
+  // flip the sign of a zero-valued extremum — invisible downstream, since
+  // extrema only reach keys, events and outputs through std::abs.) Only the
+  // min-aggregates still need repairing: the discarded slot's key became
+  // +inf.
+  if (c == 0.0) {
+    if (slot == 0) return;
+    bool best_changed = UpdateBest(slot);
+    for (int64_t a = slot / 2; a >= 1 && best_changed; a /= 2) {
+      best_changed = UpdateBest(a);
+    }
+    return;
+  }
   NodeState& s = st_[static_cast<size_t>(slot)];
   if (slot == 0) {
     // Every leaf loses +c_0: errs shift by -c_0 everywhere.
-    ShiftSubtree(1, -c);
+    ShiftAndRefresh(1, -c);
     s.max_l -= c;
     s.min_l -= c;
     s.max_r = s.max_l;
@@ -85,14 +166,60 @@ void GreedyAbsTree::Discard(int64_t slot) {
     return;
   }
   if (!IsBottom(slot)) {
-    ShiftSubtree(2 * slot, -c);
-    ShiftSubtree(2 * slot + 1, +c);
+    ShiftAndRefresh(2 * slot, -c);
+    ShiftAndRefresh(2 * slot + 1, +c);
   }
   s.max_l -= c;
   s.min_l -= c;
   s.max_r += c;
   s.min_r += c;
-  ReaggregateAncestors(slot);
+  // Reaggregate ancestors in one walk, with two independent early exits:
+  // extrema stop propagating at the first ancestor whose recomputed extrema
+  // are unchanged (everything above recomputes from identical inputs), and
+  // the min-aggregates stop at the first ancestor whose best pair comes out
+  // unchanged. (Value comparison; as above, a zero changing only its sign
+  // is indistinguishable through std::abs.)
+  // The walk below is a dependent chain of scattered loads (each level
+  // reads the sibling subtree's state, an address far from the last);
+  // issuing the whole chain's prefetches up front overlaps those misses
+  // instead of serializing them.
+  for (int64_t a = slot / 2; a >= 1; a /= 2) {
+    __builtin_prefetch(&st_[static_cast<size_t>(2 * a)]);
+    __builtin_prefetch(&st_[static_cast<size_t>(2 * a + 1)]);
+    __builtin_prefetch(&best_[static_cast<size_t>(2 * a)]);
+  }
+  bool best_changed = UpdateBest(slot);
+  bool st_changed = true;
+  for (int64_t a = slot / 2; a >= 1 && (st_changed || best_changed);
+       a /= 2) {
+    if (st_changed) {
+      const NodeState& left = st_[static_cast<size_t>(2 * a)];
+      const NodeState& right = st_[static_cast<size_t>(2 * a + 1)];
+      const double max_l = std::max(left.max_l, left.max_r);
+      const double min_l = std::min(left.min_l, left.min_r);
+      const double max_r = std::max(right.max_l, right.max_r);
+      const double min_r = std::min(right.min_l, right.min_r);
+      NodeState& t = st_[static_cast<size_t>(a)];
+      st_changed = !(max_l == t.max_l && min_l == t.min_l &&
+                     max_r == t.max_r && min_r == t.min_r);
+      if (st_changed) {
+        t = NodeState{max_l, min_l, max_r, min_r};
+        if (key_[static_cast<size_t>(a)] != inf) {
+          key_[static_cast<size_t>(a)] = MaxPotentialError(a);
+        }
+      }
+    }
+    if (st_changed || best_changed) best_changed = UpdateBest(a);
+  }
+  if (st_changed && has_average_) {
+    const NodeState& top = st_[1];
+    NodeState& avg = st_[0];
+    avg.max_l = std::max(top.max_l, top.max_r);
+    avg.min_l = std::min(top.min_l, top.min_r);
+    avg.max_r = avg.max_l;
+    avg.min_r = avg.min_l;
+    if (key_[0] != inf) key_[0] = MaxPotentialError(0);
+  }
 }
 
 double GreedyAbsTree::CurrentMaxError() const {
@@ -107,42 +234,25 @@ double GreedyAbsTree::CurrentMaxError() const {
 
 std::vector<HeapDiscardEvent> GreedyAbsTree::Run() {
   const int64_t first = has_average_ ? 0 : 1;
-  IndexedMinHeap heap(num_leaves_);
+  const double inf = std::numeric_limits<double>::infinity();
+  key_.assign(static_cast<size_t>(num_leaves_), inf);
+  best_.resize(static_cast<size_t>(num_leaves_));
   for (int64_t slot = first; slot < num_leaves_; ++slot) {
-    heap.Insert(slot, MaxPotentialError(slot));
+    key_[static_cast<size_t>(slot)] = MaxPotentialError(slot);
   }
+  // Children-first build of the min-aggregates: one reverse sweep.
+  for (int64_t slot = num_leaves_ - 1; slot >= 1; --slot) UpdateBest(slot);
+
   std::vector<HeapDiscardEvent> events;
   events.reserve(static_cast<size_t>(num_leaves_ - first));
-
-  // Refreshes the key of an alive node after its extrema changed.
-  auto refresh = [&](int64_t slot) {
-    if (heap.Contains(slot)) heap.Update(slot, MaxPotentialError(slot));
-  };
-  auto refresh_subtree = [&](auto&& self, int64_t slot) -> void {
-    if (slot >= num_leaves_) return;
-    refresh(slot);
-    if (!IsBottom(slot)) {
-      self(self, 2 * slot);
-      self(self, 2 * slot + 1);
-    }
-  };
-
-  while (!heap.empty()) {
-    const auto [slot, key] = heap.Top();
-    (void)key;
-    heap.Pop();
-    Discard(slot);
-    // MA values of all descendants and ancestors may have changed.
-    if (slot == 0) {
-      refresh_subtree(refresh_subtree, 1);
-    } else {
-      if (!IsBottom(slot)) {
-        refresh_subtree(refresh_subtree, 2 * slot);
-        refresh_subtree(refresh_subtree, 2 * slot + 1);
-      }
-      for (int64_t a = slot / 2; a >= 1; a /= 2) refresh(a);
-      if (has_average_) refresh(0);
-    }
+  for (int64_t i = first; i < num_leaves_; ++i) {
+    // The alive minimum in (key, id) order: slot 0 (smallest id, +inf key
+    // when absent or discarded) against the aggregate over slots >= 1.
+    const int64_t slot = (key_[0] <= best_[1].key) ? 0 : best_[1].id;
+    const double key = (slot == 0) ? key_[0] : best_[1].key;
+    DWM_CHECK_LT(key, inf);
+    key_[static_cast<size_t>(slot)] = inf;
+    DiscardAndRefresh(slot);
     events.push_back({slot, CurrentMaxError()});
   }
   return events;
@@ -162,6 +272,7 @@ GreedyAbsResult GreedyAbsFromCoeffs(const std::vector<double>& coeffs,
       result.synopsis = Synopsis(1, {});
       result.max_abs_error = std::abs(coeffs[0]);
     }
+    result.retained = result.synopsis.size();
     return result;
   }
 
@@ -198,6 +309,10 @@ GreedyAbsResult GreedyAbsFromCoeffs(const std::vector<double>& coeffs,
   GreedyAbsResult result;
   result.synopsis = Synopsis(n, std::move(retained));
   result.max_abs_error = best_error;
+  // best_m counts kept heap slots; the synopsis drops the exactly-zero ones
+  // among them, so the reported count follows the synopsis (satisfying the
+  // budget a fortiori: retained <= best_m <= budget).
+  result.retained = result.synopsis.size();
   return result;
 }
 

@@ -50,9 +50,17 @@ class GreedyAbsTree {
   };
 
   double MaxPotentialError(int64_t slot) const;
-  void Discard(int64_t slot);
-  void ShiftSubtree(int64_t slot, double delta);
-  void ReaggregateAncestors(int64_t slot);
+  // Applies one discard and refreshes every key and min-aggregate it may
+  // have changed (descendant subtrees, then ancestors) in fused iterative
+  // walks.
+  void DiscardAndRefresh(int64_t slot);
+  // Level-order subtree shift over the flat st_ array, recomputing the key
+  // of every alive node it touches (top-down), then rebuilding the
+  // subtree's min-aggregates (bottom-up).
+  void ShiftAndRefresh(int64_t slot, double delta);
+  // Recomputes best_[slot] from key_[slot] and the children aggregates;
+  // returns whether it changed.
+  bool UpdateBest(int64_t slot);
   double CurrentMaxError() const;
   bool IsBottom(int64_t slot) const { return slot >= num_leaves_ / 2; }
 
@@ -60,12 +68,34 @@ class GreedyAbsTree {
   bool has_average_;
   std::vector<double> c_;
   std::vector<NodeState> st_;
+  // Priority bookkeeping for the discard loop. Instead of one flat indexed
+  // heap over all slots, the minimum (key, id) pair is maintained as a
+  // tournament aggregate over the error tree itself: best_[s] is the best
+  // alive node in s's subtree (key_[s] == +inf marks s discarded), stored
+  // interleaved so one merge touches a single cache line per child pair.
+  // The aggregate repairs ride along the subtree/ancestor walks a discard
+  // already performs, so refreshing a whole shifted subtree costs one
+  // streaming pass instead of one scattered sift per node; the selected
+  // minimum — and therefore the discard sequence — is identical to the
+  // heap formulation's, as both are the (key, id) minimum over alive slots.
+  struct BestPair {
+    double key;
+    int64_t id;
+  };
+  std::vector<double> key_;
+  std::vector<BestPair> best_;
 };
 
 // Result of the full centralized algorithm.
 struct GreedyAbsResult {
   Synopsis synopsis;
   double max_abs_error = 0.0;
+  // Coefficients actually present in `synopsis` (== synopsis.size()). This
+  // can be smaller than the number of kept heap slots of the winning greedy
+  // prefix: exactly-zero coefficients are kept by the discard loop but
+  // contribute nothing and are pruned from the materialized synopsis, so
+  // reported counts follow the synopsis, not the prefix length.
+  int64_t retained = 0;
 };
 
 // Centralized GreedyAbs: builds the transform of `data` (size a power of

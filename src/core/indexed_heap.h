@@ -1,6 +1,14 @@
-// Indexed binary min-heap with decrease/increase-key, used by the greedy
+// Indexed min-heap with decrease/increase-key, used by the greedy
 // thresholding algorithms to pick the coefficient with the smallest maximum
 // potential error. Ties break on the smaller id so runs are deterministic.
+//
+// Internally a 4-ary heap with the keys stored in heap order (not indexed
+// by id): a sift-down visits half the levels of a binary heap and reads the
+// four candidate child keys from one contiguous 32-byte run, which is what
+// makes the discard loop's pop-heavy phase cache-friendly. The element
+// ordering contract is unchanged — the pop sequence is the sorted order of
+// the (key, id) pairs, a function of the key set alone — so callers observe
+// byte-identical behavior to the binary layout.
 #ifndef DWMAXERR_CORE_INDEXED_HEAP_H_
 #define DWMAXERR_CORE_INDEXED_HEAP_H_
 
@@ -15,100 +23,107 @@ namespace dwm {
 class IndexedMinHeap {
  public:
   explicit IndexedMinHeap(int64_t capacity)
-      : keys_(static_cast<size_t>(capacity)),
-        pos_(static_cast<size_t>(capacity), kAbsent) {}
+      : pos_(static_cast<size_t>(capacity), kAbsent) {}
 
-  bool empty() const { return heap_.empty(); }
-  int64_t size() const { return static_cast<int64_t>(heap_.size()); }
+  bool empty() const { return ids_.empty(); }
+  int64_t size() const { return static_cast<int64_t>(ids_.size()); }
   bool Contains(int64_t id) const { return pos_[static_cast<size_t>(id)] != kAbsent; }
 
   void Insert(int64_t id, double key) {
     DWM_CHECK(!Contains(id));
-    keys_[static_cast<size_t>(id)] = key;
-    pos_[static_cast<size_t>(id)] = static_cast<int64_t>(heap_.size());
-    heap_.push_back(id);
-    SiftUp(static_cast<int64_t>(heap_.size()) - 1);
+    pos_[static_cast<size_t>(id)] = static_cast<int64_t>(ids_.size());
+    ids_.push_back(id);
+    keys_.push_back(key);
+    SiftUp(static_cast<int64_t>(ids_.size()) - 1);
   }
 
-  // Changes the key of an existing element (either direction).
+  // Changes the key of an existing element (either direction). A smaller
+  // key can only move the element toward the root and a larger one only
+  // away from it, so exactly one sift direction ever needs to run; an
+  // unchanged key leaves the (key, id) order — and thus the heap — as is.
   void Update(int64_t id, double key) {
     DWM_CHECK(Contains(id));
-    keys_[static_cast<size_t>(id)] = key;
     const int64_t i = pos_[static_cast<size_t>(id)];
-    SiftUp(i);
-    SiftDown(pos_[static_cast<size_t>(id)]);
+    const double old_key = keys_[static_cast<size_t>(i)];
+    if (key == old_key) return;
+    keys_[static_cast<size_t>(i)] = key;
+    if (key < old_key) {
+      SiftUp(i);
+    } else {
+      SiftDown(i);
+    }
   }
 
   void Remove(int64_t id) {
     DWM_CHECK(Contains(id));
     const int64_t i = pos_[static_cast<size_t>(id)];
-    SwapAt(i, static_cast<int64_t>(heap_.size()) - 1);
-    heap_.pop_back();
+    SwapAt(i, static_cast<int64_t>(ids_.size()) - 1);
+    ids_.pop_back();
+    keys_.pop_back();
     pos_[static_cast<size_t>(id)] = kAbsent;
-    if (i < static_cast<int64_t>(heap_.size())) {
+    if (i < static_cast<int64_t>(ids_.size())) {
       SiftUp(i);
-      SiftDown(pos_[static_cast<size_t>(heap_[static_cast<size_t>(i)])]);
+      SiftDown(pos_[static_cast<size_t>(ids_[static_cast<size_t>(i)])]);
     }
   }
 
   std::pair<int64_t, double> Top() const {
-    DWM_CHECK(!heap_.empty());
-    return {heap_[0], keys_[static_cast<size_t>(heap_[0])]};
+    DWM_CHECK(!ids_.empty());
+    return {ids_[0], keys_[0]};
   }
 
   void Pop() {
-    DWM_CHECK(!heap_.empty());
-    Remove(heap_[0]);
+    DWM_CHECK(!ids_.empty());
+    Remove(ids_[0]);
   }
 
  private:
   static constexpr int64_t kAbsent = -1;
+  static constexpr int64_t kArity = 4;
 
-  bool Less(int64_t a, int64_t b) const {
-    const double ka = keys_[static_cast<size_t>(a)];
-    const double kb = keys_[static_cast<size_t>(b)];
-    if (ka != kb) return ka < kb;
-    return a < b;
+  // Compares heap positions in the (key, id) total order.
+  bool LessAt(int64_t i, int64_t j) const {
+    const double ki = keys_[static_cast<size_t>(i)];
+    const double kj = keys_[static_cast<size_t>(j)];
+    if (ki != kj) return ki < kj;
+    return ids_[static_cast<size_t>(i)] < ids_[static_cast<size_t>(j)];
   }
 
   void SwapAt(int64_t i, int64_t j) {
-    std::swap(heap_[static_cast<size_t>(i)], heap_[static_cast<size_t>(j)]);
-    pos_[static_cast<size_t>(heap_[static_cast<size_t>(i)])] = i;
-    pos_[static_cast<size_t>(heap_[static_cast<size_t>(j)])] = j;
+    std::swap(ids_[static_cast<size_t>(i)], ids_[static_cast<size_t>(j)]);
+    std::swap(keys_[static_cast<size_t>(i)], keys_[static_cast<size_t>(j)]);
+    pos_[static_cast<size_t>(ids_[static_cast<size_t>(i)])] = i;
+    pos_[static_cast<size_t>(ids_[static_cast<size_t>(j)])] = j;
   }
 
   void SiftUp(int64_t i) {
     while (i > 0) {
-      const int64_t parent = (i - 1) / 2;
-      if (!Less(heap_[static_cast<size_t>(i)],
-                heap_[static_cast<size_t>(parent)])) {
-        break;
-      }
+      const int64_t parent = (i - 1) / kArity;
+      if (!LessAt(i, parent)) break;
       SwapAt(i, parent);
       i = parent;
     }
   }
 
   void SiftDown(int64_t i) {
-    const int64_t n = static_cast<int64_t>(heap_.size());
+    const int64_t n = static_cast<int64_t>(ids_.size());
     for (;;) {
-      int64_t best = i;
-      for (int64_t child = 2 * i + 1; child <= 2 * i + 2 && child < n;
-           ++child) {
-        if (Less(heap_[static_cast<size_t>(child)],
-                 heap_[static_cast<size_t>(best)])) {
-          best = child;
-        }
+      const int64_t first = kArity * i + 1;
+      if (first >= n) break;
+      const int64_t last = std::min(first + kArity, n);
+      int64_t best = first;
+      for (int64_t c = first + 1; c < last; ++c) {
+        if (LessAt(c, best)) best = c;
       }
-      if (best == i) break;
+      if (!LessAt(best, i)) break;
       SwapAt(i, best);
       i = best;
     }
   }
 
-  std::vector<double> keys_;
-  std::vector<int64_t> pos_;
-  std::vector<int64_t> heap_;
+  std::vector<int64_t> pos_;   // id -> heap position (kAbsent if not present)
+  std::vector<int64_t> ids_;   // heap-ordered ids
+  std::vector<double> keys_;   // heap-ordered keys (parallel to ids_)
 };
 
 }  // namespace dwm

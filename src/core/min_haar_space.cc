@@ -4,6 +4,10 @@
 #include <cmath>
 #include <functional>
 
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
 #include "common/bits.h"
 #include "common/check.h"
 #include "wavelet/error_tree.h"
@@ -12,19 +16,210 @@ namespace dwm {
 namespace mhs {
 namespace {
 
-// Grid index helpers with a small tolerance so that window endpoints landing
-// (up to fp noise) on a grid point are included; per-cell feasibility is
-// re-checked exactly, so the tolerance can only widen rows by dead cells.
+// Largest grid magnitude the DP will address. Chosen so that every int64
+// expression over clamped indices (l.lo + r.lo in CombineRows, 2*v - a in
+// the choice scan) stays well inside the representable range:
+// 3 * kGridLimit < 2^63.
+constexpr int64_t kGridLimit = int64_t{1} << 61;
+
+// Converts a rounded grid coordinate to an index, clamping out-of-range
+// (and NaN) values instead of hitting the UB of a raw out-of-range
+// static_cast. Clamped windows carry no feasible cells (per-cell
+// feasibility is re-checked exactly against the real data), so an
+// out-of-range window degrades to "grid too coarse", never to wrap-around.
+int64_t ToGridIndex(double r) {
+  constexpr double kLimit = 2305843009213693952.0;  // 2^61, exactly
+  if (!(r > -kLimit)) return -kGridLimit;           // also catches NaN
+  if (r >= kLimit) return kGridLimit;
+  return static_cast<int64_t>(r);
+}
+
+// Tolerance for window endpoints landing (up to fp noise) on a grid point:
+// absolute 1e-9 near the origin (the historical behavior), scaling
+// relatively once 1e-9 would vanish below one ulp of x/quantum (at
+// |x/quantum| ~ 1e7). 1e-15 is ~4.5 ulps, enough to absorb the one rounding
+// each of x/quantum and the caller's endpoint arithmetic contribute.
+// Per-cell feasibility is re-checked exactly, so slack only widens rows by
+// dead (trimmed) cells, and by O(1) of them since it is O(ulp).
+double GridSlack(double r) { return std::max(1e-9, std::abs(r) * 1e-15); }
+
+// Grid index helpers: smallest / largest grid index whose point could be
+// >= x (resp. <= x) up to fp noise.
 int64_t GridCeil(double x, double quantum) {
-  return static_cast<int64_t>(std::ceil(x / quantum - 1e-9));
+  const double r = x / quantum;
+  if (!std::isfinite(r)) return r > 0 ? kGridLimit : -kGridLimit;
+  return ToGridIndex(std::ceil(r - GridSlack(r)));
 }
 int64_t GridFloor(double x, double quantum) {
-  return static_cast<int64_t>(std::floor(x / quantum + 1e-9));
+  const double r = x / quantum;
+  if (!std::isfinite(r)) return r > 0 ? kGridLimit : -kGridLimit;
+  return ToGridIndex(std::floor(r + GridSlack(r)));
 }
 
 // floor/ceil of x/2 for possibly negative x.
 int64_t FloorHalf(int64_t x) { return x >> 1; }
 int64_t CeilHalf(int64_t x) { return -((-x) >> 1); }
+
+// Branch-light core of BestChoice over raw cell windows [llo, lhi] and
+// [rlo, rhi] (both non-empty). The z != 0 scan is clipped to the a-range
+// where both children are in-window, so the inner loop carries no bounds
+// checks or Find() calls; infeasible cells participate harmlessly because
+// their count (>= kInfCount) can never beat a feasible candidate. This
+// reproduces the reference BestChoice exactly: same candidate set, same
+// z = 0 priority, same ascending-a order, same strict (count, err)
+// tie-break.
+Choice BestChoiceCells(const Cell* lc, int64_t llo, int64_t lhi,
+                       const Cell* rc, int64_t rlo, int64_t rhi, int64_t v) {
+  Choice best;
+  // z = 0: the coefficient is dropped, both children inherit v.
+  if (v >= llo && v <= lhi && v >= rlo && v <= rhi) {
+    const Cell& cl = lc[v - llo];
+    const Cell& cr = rc[v - rlo];
+    if (cl.feasible() && cr.feasible()) {
+      best.cell = {cl.count + cr.count, std::max(cl.err, cr.err)};
+    }
+  }
+  // z != 0: retain the coefficient with value z = (a - v) * quantum; the
+  // right child then receives b = v - z = 2v - a, so the left index walks
+  // up while the right index walks down.
+  const int64_t a_lo = std::max(llo, 2 * v - rhi);
+  const int64_t a_hi = std::min(lhi, 2 * v - rlo);
+  constexpr int64_t kNone = std::numeric_limits<int64_t>::min();
+  int32_t best_count = best.cell.count;
+  double best_err = best.cell.err;
+  int64_t best_a = kNone;
+  int64_t li = a_lo - llo;
+  int64_t ri = 2 * v - a_lo - rlo;
+  for (int64_t a = a_lo; a <= a_hi; ++a, ++li, --ri) {
+    const int32_t count = 1 + lc[li].count + rc[ri].count;
+    const double err = std::max(lc[li].err, rc[ri].err);
+    const bool better =
+        count < best_count || (count == best_count && err < best_err);
+    best_a = better ? a : best_a;
+    best_count = better ? count : best_count;
+    best_err = better ? err : best_err;
+  }
+  if (best_a != kNone) {
+    best.cell = {best_count, best_err};
+    best.z_grid = best_a - v;
+  }
+  return best;
+}
+
+// Fills out[0 .. phi - plo] with the best-choice cells of the parent window
+// [plo, phi] over the given child windows. `scratch` is caller-provided
+// working memory so tight combine loops can reuse one allocation.
+//
+// Scatter formulation: the reference computes, per parent value v, the
+// lexicographic (count, err) minimum over the z = 0 candidate and the
+// z != 0 candidates (a, b = 2v - a). Scanning per v walks the same (a, b)
+// anti-diagonals over and over; here the pair grid is walked once. For a
+// fixed left index a every candidate's right index b shares a's parity
+// (a + b = 2v is even), and those b land on consecutive parent values
+// v = (a + b) / 2 — so with the right row pre-packed by parity the inner
+// loop is a contiguous streaming min-fold of branch-free selects the
+// compiler can vectorize. Counts are widened to doubles (exact: they stay
+// far below 2^53) so count and error occupy same-width lanes.
+//
+// Equivalence with the per-v reference: the z = 0 candidate seeds each
+// output slot before any scan candidate folds in, the outer loop ascends in
+// a, and the "better" test is strict — identical candidate set, priority
+// and tie-breaks. Infeasible candidates fold in harmlessly: their count is
+// >= kInfCount so they never displace a feasible cell, and the final pass
+// normalizes every still-infeasible slot to the exact reference cell
+// Cell{} == {kInfCount, +inf}. (This assumes feasible counts stay below
+// kInfCount, which holds for any addressable input: a count never exceeds
+// the number of coefficient nodes under the row.)
+void CombineCells(const Cell* lc, int64_t llo, int64_t lhi, const Cell* rc,
+                  int64_t rlo, int64_t rhi, int64_t plo, int64_t phi,
+                  Cell* out, std::vector<double>* scratch) {
+  const int64_t wl = lhi - llo + 1;
+  const int64_t wr = rhi - rlo + 1;
+  const int64_t m = phi - plo + 1;
+  constexpr double kInf = static_cast<double>(Cell::kInfCount);
+  const double inf = std::numeric_limits<double>::infinity();
+  // Layout: out counts [m] | out errs [m] | right row packed by index
+  // parity, counts then errs, one half-size array per parity.
+  const int64_t h = wr / 2 + 1;
+  scratch->resize(static_cast<size_t>(2 * m + 4 * h));
+  double* const ocnt = scratch->data();
+  double* const oerr = ocnt + m;
+  double* const rp_cnt[2] = {oerr + m, oerr + m + h};
+  double* const rp_err[2] = {oerr + m + 2 * h, oerr + m + 3 * h};
+  // b with b & 1 == p lands at rp_*[p][(b - b0[p]) >> 1].
+  const int64_t b0[2] = {rlo + (rlo & 1), rlo + ((rlo ^ 1) & 1)};
+  for (int64_t i = 0; i < wr; ++i) {
+    const int p = static_cast<int>((rlo + i) & 1);
+    rp_cnt[p][i >> 1] = static_cast<double>(rc[i].count);
+    rp_err[p][i >> 1] = rc[i].err;
+  }
+  // Seed with the z = 0 candidates (both children inherit v, no +1).
+  for (int64_t i = 0; i < m; ++i) {
+    ocnt[i] = kInf;
+    oerr[i] = inf;
+  }
+  const int64_t z_lo = std::max(plo, std::max(llo, rlo));
+  const int64_t z_hi = std::min(phi, std::min(lhi, rhi));
+  for (int64_t v = z_lo; v <= z_hi; ++v) {
+    ocnt[v - plo] = static_cast<double>(lc[v - llo].count) +
+                    static_cast<double>(rc[v - rlo].count);
+    oerr[v - plo] = std::max(lc[v - llo].err, rc[v - rlo].err);
+  }
+  // Fold in the z != 0 candidates, one left index at a time. An infeasible
+  // left cell only ever produces candidates with count >= kInfCount + 1,
+  // none of which can survive the feasibility clamp below, so its whole
+  // row is skipped without changing the output.
+  for (int64_t ai = 0; ai < wl; ++ai) {
+    if (lc[ai].count >= Cell::kInfCount) continue;
+    const int64_t a = llo + ai;
+    int64_t bs = std::max(rlo, 2 * plo - a);
+    int64_t be = std::min(rhi, 2 * phi - a);
+    bs += (bs ^ a) & 1;  // round up to a's parity
+    be -= (be ^ a) & 1;  // round down to a's parity
+    if (bs > be) continue;
+    const int p = static_cast<int>(bs & 1);
+    const double* const rcv = rp_cnt[p] + ((bs - b0[p]) >> 1);
+    const double* const rev = rp_err[p] + ((bs - b0[p]) >> 1);
+    double* const oc = ocnt + ((a + bs) / 2 - plo);
+    double* const oe = oerr + ((a + bs) / 2 - plo);
+    const double base_cnt = 1.0 + static_cast<double>(lc[ai].count);
+    const double base_err = lc[ai].err;
+    const int64_t k = ((be - bs) >> 1) + 1;
+    int64_t j = 0;
+#if defined(__SSE2__)
+    // Two candidates per iteration; every lane computes exactly the scalar
+    // expressions below (MAXPD is the `x > y ? x : y` select, the compare
+    // masks implement the strict lexicographic test), so the fold is
+    // byte-identical to the scalar tail.
+    const __m128d vbc = _mm_set1_pd(base_cnt);
+    const __m128d vbe = _mm_set1_pd(base_err);
+    for (; j + 2 <= k; j += 2) {
+      const __m128d c = _mm_add_pd(vbc, _mm_loadu_pd(rcv + j));
+      const __m128d e = _mm_max_pd(vbe, _mm_loadu_pd(rev + j));
+      const __m128d oc2 = _mm_loadu_pd(oc + j);
+      const __m128d oe2 = _mm_loadu_pd(oe + j);
+      const __m128d better =
+          _mm_or_pd(_mm_cmplt_pd(c, oc2),
+                    _mm_and_pd(_mm_cmpeq_pd(c, oc2), _mm_cmplt_pd(e, oe2)));
+      _mm_storeu_pd(oc + j, _mm_or_pd(_mm_and_pd(better, c),
+                                      _mm_andnot_pd(better, oc2)));
+      _mm_storeu_pd(oe + j, _mm_or_pd(_mm_and_pd(better, e),
+                                      _mm_andnot_pd(better, oe2)));
+    }
+#endif
+    for (; j < k; ++j) {
+      const double c = base_cnt + rcv[j];
+      const double e = base_err > rev[j] ? base_err : rev[j];
+      const bool better = (c < oc[j]) | ((c == oc[j]) & (e < oe[j]));
+      oc[j] = better ? c : oc[j];
+      oe[j] = better ? e : oe[j];
+    }
+  }
+  for (int64_t i = 0; i < m; ++i) {
+    out[i] = (ocnt[i] < kInf) ? Cell{static_cast<int32_t>(ocnt[i]), oerr[i]}
+                              : Cell{};
+  }
+}
 
 }  // namespace
 
@@ -99,30 +294,116 @@ Choice BestChoice(const Row& left, const Row& right, int64_t v) {
 
 Row CombineRows(const Row& left, const Row& right) {
   if (!left.feasible() || !right.feasible()) return Row{};
+  const int64_t lo = CeilHalf(left.lo + right.lo);
+  const int64_t hi = FloorHalf(left.hi() + right.hi());
+  if (lo > hi) return Row{};
+  Row row;
+  row.lo = lo;
+  row.cells.resize(static_cast<size_t>(hi - lo + 1));
+  std::vector<double> scratch;
+  CombineCells(left.cells.data(), left.lo, left.hi(), right.cells.data(),
+               right.lo, right.hi(), lo, hi, row.cells.data(), &scratch);
+  row.Trim();
+  return row;
+}
+
+Row CombineRowsReference(const Row& left, const Row& right) {
+  if (!left.feasible() || !right.feasible()) return Row{};
   Row row;
   row.lo = CeilHalf(left.lo + right.lo);
   const int64_t hi = FloorHalf(left.hi() + right.hi());
   if (row.lo > hi) return Row{};
   row.cells.resize(static_cast<size_t>(hi - row.lo + 1));
   for (int64_t v = row.lo; v <= hi; ++v) {
-    row.cells[static_cast<size_t>(v - row.lo)] = BestChoice(left, right, v).cell;
+    row.cells[static_cast<size_t>(v - row.lo)] =
+        BestChoice(left, right, v).cell;
   }
   row.Trim();
   return row;
 }
 
-std::vector<Row> BuildSubtreeRows(std::vector<Row> inputs) {
+Row RowHeap::CopyRow(int64_t slot) const {
+  const Span& s = span(slot);
+  Row row;
+  if (s.len == 0) return row;
+  row.lo = s.lo;
+  row.cells.assign(cells_.begin() + s.offset,
+                   cells_.begin() + s.offset + s.len);
+  return row;
+}
+
+RowHeap BuildRowHeap(std::vector<Row> inputs) {
   const int64_t width = static_cast<int64_t>(inputs.size());
   DWM_CHECK(IsPowerOfTwo(static_cast<uint64_t>(width)));
-  std::vector<Row> rows(static_cast<size_t>(2 * width));
+  RowHeap heap;
+  heap.width_ = width;
+  heap.spans_.resize(static_cast<size_t>(2 * width));
+  int64_t total = 0;
+  for (const Row& row : inputs) {
+    total += static_cast<int64_t>(row.cells.size());
+  }
+  // Feasible windows shrink going up (width <= 2*eps everywhere), so the
+  // whole pyramid fits in about twice the input cells; reserving that much
+  // makes arena growth the exception, not the rule.
+  heap.cells_.reserve(static_cast<size_t>(2 * total + 16));
   for (int64_t t = 0; t < width; ++t) {
-    rows[static_cast<size_t>(width + t)] = std::move(inputs[static_cast<size_t>(t)]);
+    Row& row = inputs[static_cast<size_t>(t)];
+    RowHeap::Span& sp = heap.spans_[static_cast<size_t>(width + t)];
+    sp.lo = row.lo;
+    sp.offset = static_cast<int64_t>(heap.cells_.size());
+    sp.len = static_cast<int64_t>(row.cells.size());
+    heap.cells_.insert(heap.cells_.end(), row.cells.begin(), row.cells.end());
+    row.cells.clear();
   }
-  for (int64_t s = width - 1; s >= 1; --s) {
-    rows[static_cast<size_t>(s)] = CombineRows(rows[static_cast<size_t>(2 * s)],
-                                               rows[static_cast<size_t>(2 * s + 1)]);
+  // Up-sweep, one contiguous level at a time. Child cell pointers are
+  // re-acquired per parent because appending this level's cells may
+  // reallocate the arena.
+  std::vector<Cell> scratch;
+  std::vector<double> dscratch;
+  for (int64_t level = width / 2; level >= 1; level /= 2) {
+    for (int64_t s = level; s < 2 * level; ++s) {
+      const RowHeap::Span l = heap.spans_[static_cast<size_t>(2 * s)];
+      const RowHeap::Span r = heap.spans_[static_cast<size_t>(2 * s + 1)];
+      RowHeap::Span sp;
+      if (l.len > 0 && r.len > 0) {
+        const int64_t plo = CeilHalf(l.lo + r.lo);
+        const int64_t phi = FloorHalf((l.lo + l.len - 1) + (r.lo + r.len - 1));
+        if (plo <= phi) {
+          scratch.resize(static_cast<size_t>(phi - plo + 1));
+          CombineCells(heap.cells_.data() + l.offset, l.lo, l.lo + l.len - 1,
+                       heap.cells_.data() + r.offset, r.lo, r.lo + r.len - 1,
+                       plo, phi, scratch.data(), &dscratch);
+          // Trim: only the feasible middle lands in the arena.
+          int64_t begin = 0;
+          int64_t end = static_cast<int64_t>(scratch.size());
+          while (begin < end && !scratch[static_cast<size_t>(begin)].feasible())
+            ++begin;
+          while (end > begin && !scratch[static_cast<size_t>(end - 1)].feasible())
+            --end;
+          if (begin < end) {
+            sp.lo = plo + begin;
+            sp.offset = static_cast<int64_t>(heap.cells_.size());
+            sp.len = end - begin;
+            heap.cells_.insert(heap.cells_.end(), scratch.begin() + begin,
+                               scratch.begin() + end);
+          }
+        }
+      }
+      heap.spans_[static_cast<size_t>(s)] = sp;
+    }
   }
-  return rows;
+  return heap;
+}
+
+Choice BestChoiceAt(const RowHeap& rows, int64_t slot, int64_t v) {
+  DWM_CHECK_GE(slot, 1);
+  DWM_CHECK_LT(slot, rows.width_);
+  const RowHeap::Span& l = rows.spans_[static_cast<size_t>(2 * slot)];
+  const RowHeap::Span& r = rows.spans_[static_cast<size_t>(2 * slot + 1)];
+  if (l.len == 0 || r.len == 0) return Choice{};
+  return BestChoiceCells(rows.cells_.data() + l.offset, l.lo,
+                         l.lo + l.len - 1, rows.cells_.data() + r.offset,
+                         r.lo, r.lo + r.len - 1, v);
 }
 
 Row ComputeRowOverData(const double* data, int64_t len, double eps,
@@ -135,34 +416,40 @@ Row ComputeRowOverData(const double* data, int64_t len, double eps,
   return CombineRows(left, right);
 }
 
-void SelectInHeap(const std::vector<Row>& rows, int64_t root_global,
-                  double quantum, int64_t slot, int64_t v,
-                  std::vector<Coefficient>* out,
+void SelectInHeap(const RowHeap& rows, int64_t root_global, double quantum,
+                  int64_t slot, int64_t v, std::vector<Coefficient>* out,
                   const std::function<void(int64_t, int64_t)>& input_cb) {
-  const int64_t width = static_cast<int64_t>(rows.size()) / 2;
-  if (slot >= width) {
-    input_cb(slot - width, v);
-    return;
-  }
-  const Row& left = rows[static_cast<size_t>(2 * slot)];
-  const Row& right = rows[static_cast<size_t>(2 * slot + 1)];
-  const Choice choice = BestChoice(left, right, v);
-  DWM_CHECK(choice.cell.feasible());
-  if (choice.z_grid != 0) {
-    out->push_back({LocalToGlobal(root_global, slot),
-                    static_cast<double>(choice.z_grid) * quantum});
-  }
-  const int64_t vl = v + choice.z_grid;
-  const int64_t vr = v - choice.z_grid;
-  const Cell* cl = left.Find(vl);
-  const Cell* cr = right.Find(vr);
-  DWM_CHECK(cl != nullptr && cl->feasible());
-  DWM_CHECK(cr != nullptr && cr->feasible());
-  if (cl->count > 0) {
-    SelectInHeap(rows, root_global, quantum, 2 * slot, vl, out, input_cb);
-  }
-  if (cr->count > 0) {
-    SelectInHeap(rows, root_global, quantum, 2 * slot + 1, vr, out, input_cb);
+  const int64_t width = rows.width();
+  struct Frame {
+    int64_t slot = 0;
+    int64_t v = 0;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({slot, v});
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    if (f.slot >= width) {
+      input_cb(f.slot - width, f.v);
+      continue;
+    }
+    const Choice choice = BestChoiceAt(rows, f.slot, f.v);
+    DWM_CHECK(choice.cell.feasible());
+    if (choice.z_grid != 0) {
+      out->push_back({LocalToGlobal(root_global, f.slot),
+                      static_cast<double>(choice.z_grid) * quantum});
+    }
+    const int64_t vl = f.v + choice.z_grid;
+    const int64_t vr = f.v - choice.z_grid;
+    const Cell* cl = rows.Find(2 * f.slot, vl);
+    const Cell* cr = rows.Find(2 * f.slot + 1, vr);
+    DWM_CHECK(cl != nullptr && cl->feasible());
+    DWM_CHECK(cr != nullptr && cr->feasible());
+    // Right is pushed first so the left subtree pops (and emits) first:
+    // exactly the node / left-subtree / right-subtree preorder of the
+    // recursive formulation.
+    if (cr->count > 0) stack.push_back({2 * f.slot + 1, vr});
+    if (cl->count > 0) stack.push_back({2 * f.slot, vl});
   }
 }
 
@@ -190,8 +477,8 @@ MhsResult MinHaarSpace(const std::vector<double>& data,
     chunk_rows[static_cast<size_t>(t)] =
         mhs::ComputeRowOverData(data.data() + t * chunk, chunk, eps, q);
   }
-  const std::vector<mhs::Row> top = mhs::BuildSubtreeRows(std::move(chunk_rows));
-  const mhs::Row& row1 = top[1];
+  const mhs::RowHeap top = mhs::BuildRowHeap(std::move(chunk_rows));
+  const mhs::Row row1 = top.CopyRow(1);
 
   MhsResult result;
   if (!row1.feasible()) return result;
@@ -239,8 +526,7 @@ MhsResult MinHaarSpace(const std::vector<double>& data,
             pairs[static_cast<size_t>(u)] =
                 mhs::PairRow(slice[2 * u], slice[2 * u + 1], eps, q);
           }
-          const std::vector<mhs::Row> heap =
-              mhs::BuildSubtreeRows(std::move(pairs));
+          const mhs::RowHeap heap = mhs::BuildRowHeap(std::move(pairs));
           mhs::SelectInHeap(
               heap, chunk_root, q, /*slot=*/1, v, &coeffs,
               [&](int64_t u, int64_t pv) {

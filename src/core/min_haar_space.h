@@ -24,7 +24,10 @@
 //    "could not run for delta=50,100" behavior of Section 6.2.
 //
 // The row/combine primitives live in namespace mhs so the distributed
-// version (dist/dmin_haar_space) can reuse them verbatim.
+// version (dist/dmin_haar_space) can reuse them verbatim. `Row` (one
+// std::vector<Cell> per node) is the serialization/shuffle unit; whole
+// subtrees of rows are materialized in a flat `RowHeap` cell arena
+// (DESIGN.md §12) so the DP inner loops stream over contiguous memory.
 #ifndef DWMAXERR_CORE_MIN_HAAR_SPACE_H_
 #define DWMAXERR_CORE_MIN_HAAR_SPACE_H_
 
@@ -34,6 +37,7 @@
 #include <limits>
 #include <vector>
 
+#include "common/check.h"
 #include "wavelet/synopsis.h"
 
 namespace dwm {
@@ -71,36 +75,100 @@ struct Row {
 // M-row of a bottom coefficient node over the data pair (a, b).
 Row PairRow(double a, double b, double eps, double quantum);
 
-// M-row of an internal node from its children's rows (one level up).
+// M-row of an internal node from its children's rows (one level up). Runs
+// on the branch-light clipped-window kernel; byte-identical to
+// CombineRowsReference.
 Row CombineRows(const Row& left, const Row& right);
 
+// Scalar reference for CombineRows: the direct transcription of the DP
+// recurrence via BestChoice. The optimized combine paths (CombineRows,
+// BuildRowHeap) must reproduce it cell for cell; tests pin this.
+Row CombineRowsReference(const Row& left, const Row& right);
+
 // Best decision at an internal node for incoming grid value v: z_grid is the
-// retained value in grid units (0 => the coefficient is dropped).
+// retained value in grid units (0 => the coefficient is dropped). This is
+// the semantic definition (reference implementation) of the per-value
+// decision; the arena kernel reproduces its exact candidate order and
+// tie-breaks.
 struct Choice {
   Cell cell;
   int64_t z_grid = 0;
 };
 Choice BestChoice(const Row& left, const Row& right, int64_t v);
 
+// Every row of a complete subtree, stored as one flat Cell arena with
+// per-slot (lo, offset, len) spans instead of one heap-allocated
+// std::vector<Cell> per node. Heap layout: `width` inputs occupy slots
+// [width, 2*width), slot 1 is the subtree root, slot 0 is unused; each
+// level's cells are contiguous in the arena, so the up-sweep streams
+// sequentially. An infeasible row is a zero-length span.
+class RowHeap {
+ public:
+  RowHeap() = default;
+
+  int64_t width() const { return width_; }
+  bool feasible(int64_t slot) const { return span(slot).len > 0; }
+  int64_t lo(int64_t slot) const { return span(slot).lo; }
+  int64_t hi(int64_t slot) const {
+    const Span& s = span(slot);
+    return s.lo + s.len - 1;
+  }
+  // Cell at grid index g of `slot`'s row, or nullptr if outside the window.
+  const Cell* Find(int64_t slot, int64_t g) const {
+    const Span& s = span(slot);
+    if (g < s.lo || g >= s.lo + s.len) return nullptr;
+    return &cells_[static_cast<size_t>(s.offset + (g - s.lo))];
+  }
+  // Materializes one slot as a stand-alone Row (e.g. to ship the subtree
+  // root across the shuffle boundary, which stays Row-typed).
+  Row CopyRow(int64_t slot) const;
+  // Total cells in the arena (all rows of all levels).
+  int64_t cell_count() const { return static_cast<int64_t>(cells_.size()); }
+
+ private:
+  struct Span {
+    int64_t lo = 0;
+    int64_t offset = 0;
+    int64_t len = 0;
+  };
+  const Span& span(int64_t slot) const {
+    DWM_CHECK_GE(slot, 1);
+    DWM_CHECK_LT(slot, static_cast<int64_t>(spans_.size()));
+    return spans_[static_cast<size_t>(slot)];
+  }
+
+  friend RowHeap BuildRowHeap(std::vector<Row> inputs);
+  friend Choice BestChoiceAt(const RowHeap& rows, int64_t slot, int64_t v);
+
+  int64_t width_ = 0;
+  std::vector<Span> spans_;
+  std::vector<Cell> cells_;
+};
+
 // Builds every row of a complete subtree whose inputs (the rows of its 2^h
-// children — pair rows or lower-subtree roots) are `inputs`. Returns a heap
-// array of size 2*inputs.size(): slot 1 is the subtree root, slots
-// [inputs.size(), 2*inputs.size()) are the inputs themselves; slot 0 unused.
-std::vector<Row> BuildSubtreeRows(std::vector<Row> inputs);
+// children — pair rows or lower-subtree roots) are `inputs`
+// (inputs.size() must be a power of two). Equivalent to folding
+// CombineRows bottom-up, but all cells land in one arena.
+RowHeap BuildRowHeap(std::vector<Row> inputs);
+
+// BestChoice evaluated against the arena rows of `slot`'s children
+// (byte-identical to BestChoice on the materialized rows).
+Choice BestChoiceAt(const RowHeap& rows, int64_t slot, int64_t v);
 
 // Recursively computes only the root row over a data slice (length a power
 // of two, >= 2) in O(len * w^2) time and O(w log len) memory.
 Row ComputeRowOverData(const double* data, int64_t len, double eps,
                        double quantum);
 
-// Walks the decisions of a subtree whose rows are materialized in heap
-// layout (BuildSubtreeRows). For heap slots that are inputs, invokes
-// input_cb(input_index, incoming_grid_value); for internal slots, appends
-// any retained coefficient (global index LocalToGlobal(root_global, slot)).
-// Start with slot = 1 and the chosen incoming grid value v.
-void SelectInHeap(const std::vector<Row>& rows, int64_t root_global,
-                  double quantum, int64_t slot, int64_t v,
-                  std::vector<Coefficient>* out,
+// Walks the decisions of a subtree materialized in a RowHeap. For heap
+// slots that are inputs, invokes input_cb(input_index, incoming_grid_value);
+// for internal slots, appends any retained coefficient (global index
+// LocalToGlobal(root_global, slot)). Start with slot = 1 and the chosen
+// incoming grid value v. Iterative (explicit stack), but emits in exactly
+// the preorder the recursive formulation would: node, left subtree, right
+// subtree.
+void SelectInHeap(const RowHeap& rows, int64_t root_global, double quantum,
+                  int64_t slot, int64_t v, std::vector<Coefficient>* out,
                   const std::function<void(int64_t, int64_t)>& input_cb);
 
 }  // namespace mhs

@@ -97,7 +97,7 @@ DmhsResult DMinHaarSpace(const std::vector<double>& data,
       } else {
         std::vector<mhs::Row> inputs =
             stage_inputs[static_cast<size_t>(s)][static_cast<size_t>(task)];
-        row = std::move(mhs::BuildSubtreeRows(std::move(inputs))[1]);
+        row = mhs::BuildRowHeap(std::move(inputs)).CopyRow(1);
       }
       emit(last ? 0 : task / fan, {last ? task : task % fan, std::move(row)});
     };
@@ -142,8 +142,7 @@ DmhsResult DMinHaarSpace(const std::vector<double>& data,
 
   // ---------------- Driver: choose c_0 from the row of c_1. ----------------
   Stopwatch driver_clock;
-  const std::vector<mhs::Row> top_heap = mhs::BuildSubtreeRows(final_rows);
-  const mhs::Row& row1 = top_heap[1];
+  const mhs::Row row1 = mhs::BuildRowHeap(std::move(final_rows)).CopyRow(1);
   if (!row1.feasible()) {
     out.report.AddDriverSpan("choose_c0", driver_clock.ElapsedSeconds());
     return out;
@@ -229,8 +228,7 @@ DmhsResult DMinHaarSpace(const std::vector<double>& data,
             local.push_back({root_global, (slice[0] - slice[1]) / 2.0});
           }
         } else {
-          const std::vector<mhs::Row> heap =
-              mhs::BuildSubtreeRows(std::move(pairs));
+          const mhs::RowHeap heap = mhs::BuildRowHeap(std::move(pairs));
           mhs::SelectInHeap(heap, root_global, q, 1, v, &local,
                             [&](int64_t u, int64_t pv) {
                               const double a = slice[2 * u];
@@ -248,8 +246,7 @@ DmhsResult DMinHaarSpace(const std::vector<double>& data,
       } else {
         std::vector<mhs::Row> inputs =
             stage_inputs[static_cast<size_t>(s)][static_cast<size_t>(task)];
-        const std::vector<mhs::Row> heap =
-            mhs::BuildSubtreeRows(std::move(inputs));
+        const mhs::RowHeap heap = mhs::BuildRowHeap(std::move(inputs));
         mhs::SelectInHeap(heap, root_global, q, 1, v, &local,
                           [&](int64_t input, int64_t cv) {
                             emit(task * fan + input,

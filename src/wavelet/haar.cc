@@ -1,11 +1,139 @@
 #include "wavelet/haar.h"
 
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
 #include "common/bits.h"
 #include "common/check.h"
 
 namespace dwm {
+namespace {
+
+// One forward resolution pass: consumes 2*half adjacent inputs and produces
+// `half` averages and `half` detail coefficients through separate output
+// pointers (de-interleaved outputs are what make the pass SIMD-friendly).
+// avg_out may alias `in`: avg_out[t] is stored only after in[2t] and
+// in[2t+1] are loaded, and every later load sits at an index >= 2t > t.
+//
+// (a + b) * 0.5 is bit-identical to the reference's (a + b) / 2.0: both are
+// correctly-rounded halvings of the same sum, including for denormals and
+// signed zeros (the SIMD-vs-scalar property test in tests/haar_test.cc pins
+// this).
+inline void ForwardPass(const double* in, int64_t half, double* avg_out,
+                        double* detail_out) {
+#if defined(__SSE2__)
+  int64_t t = 0;
+  const __m128d kHalf = _mm_set1_pd(0.5);
+  for (; t + 2 <= half; t += 2) {
+    const __m128d x01 = _mm_loadu_pd(in + 2 * t);
+    const __m128d x23 = _mm_loadu_pd(in + 2 * t + 2);
+    const __m128d a = _mm_shuffle_pd(x01, x23, 0);  // in[2t],   in[2t+2]
+    const __m128d b = _mm_shuffle_pd(x01, x23, 3);  // in[2t+1], in[2t+3]
+    _mm_storeu_pd(avg_out + t, _mm_mul_pd(_mm_add_pd(a, b), kHalf));
+    _mm_storeu_pd(detail_out + t, _mm_mul_pd(_mm_sub_pd(a, b), kHalf));
+  }
+  for (; t < half; ++t) {
+    const double a = in[2 * t];
+    const double b = in[2 * t + 1];
+    avg_out[t] = (a + b) * 0.5;
+    detail_out[t] = (a - b) * 0.5;
+  }
+#else
+#pragma omp simd
+  for (int64_t t = 0; t < half; ++t) {
+    const double a = in[2 * t];
+    const double b = in[2 * t + 1];
+    avg_out[t] = (a + b) * 0.5;
+    detail_out[t] = (a - b) * 0.5;
+  }
+#endif
+}
+
+// Two forward resolution passes fused: consumes 4*quarter adjacent inputs
+// and produces 2*quarter finer-level details, `quarter` coarser-level
+// details and `quarter` running averages. The intermediate averages never
+// touch memory (they stay in registers), which removes a full store+reload
+// of the half-resolution level; every arithmetic op is the same correctly
+// rounded halving the two single passes would perform, so the outputs are
+// bit-identical. avg_out may alias `in` under the same argument as
+// ForwardPass (avg_out[t] lands only after in[4t..4t+3] are loaded).
+inline void ForwardPass2(const double* in, int64_t quarter, double* avg_out,
+                         double* det1_out, double* det2_out) {
+#if defined(__SSE2__)
+  int64_t t = 0;
+  const __m128d kHalf = _mm_set1_pd(0.5);
+  for (; t + 2 <= quarter; t += 2) {
+    const __m128d x01 = _mm_loadu_pd(in + 4 * t);
+    const __m128d x23 = _mm_loadu_pd(in + 4 * t + 2);
+    const __m128d x45 = _mm_loadu_pd(in + 4 * t + 4);
+    const __m128d x67 = _mm_loadu_pd(in + 4 * t + 6);
+    const __m128d a02 = _mm_shuffle_pd(x01, x23, 0);  // in[4t],   in[4t+2]
+    const __m128d b13 = _mm_shuffle_pd(x01, x23, 3);  // in[4t+1], in[4t+3]
+    const __m128d a46 = _mm_shuffle_pd(x45, x67, 0);
+    const __m128d b57 = _mm_shuffle_pd(x45, x67, 3);
+    const __m128d s01 = _mm_mul_pd(_mm_add_pd(a02, b13), kHalf);
+    const __m128d s23 = _mm_mul_pd(_mm_add_pd(a46, b57), kHalf);
+    _mm_storeu_pd(det1_out + 2 * t,
+                  _mm_mul_pd(_mm_sub_pd(a02, b13), kHalf));
+    _mm_storeu_pd(det1_out + 2 * t + 2,
+                  _mm_mul_pd(_mm_sub_pd(a46, b57), kHalf));
+    const __m128d sa = _mm_shuffle_pd(s01, s23, 0);  // s0, s2
+    const __m128d sb = _mm_shuffle_pd(s01, s23, 3);  // s1, s3
+    _mm_storeu_pd(avg_out + t, _mm_mul_pd(_mm_add_pd(sa, sb), kHalf));
+    _mm_storeu_pd(det2_out + t, _mm_mul_pd(_mm_sub_pd(sa, sb), kHalf));
+  }
+#else
+  int64_t t = 0;
+#endif
+  for (; t < quarter; ++t) {
+    const double a = in[4 * t];
+    const double b = in[4 * t + 1];
+    const double c = in[4 * t + 2];
+    const double d = in[4 * t + 3];
+    const double s0 = (a + b) * 0.5;
+    const double s1 = (c + d) * 0.5;
+    det1_out[2 * t] = (a - b) * 0.5;
+    det1_out[2 * t + 1] = (c - d) * 0.5;
+    avg_out[t] = (s0 + s1) * 0.5;
+    det2_out[t] = (s0 - s1) * 0.5;
+  }
+}
+
+}  // namespace
 
 std::vector<double> ForwardHaar(const std::vector<double>& data) {
+  const int64_t n = static_cast<int64_t>(data.size());
+  DWM_CHECK(IsPowerOfTwo(static_cast<uint64_t>(n)));
+  std::vector<double> coeffs(static_cast<size_t>(n));
+  if (n == 1) {
+    coeffs[0] = data[0];
+    return coeffs;
+  }
+  // The shrinking average pyramid lives in an n/2 scratch buffer instead of
+  // the full-input copy the reference makes: the first pass reads `data`
+  // directly, later passes run in place on the scratch (see ForwardPass for
+  // why in-place is safe). Levels are consumed two at a time so the odd
+  // (half-resolution) averages never round-trip through memory; when the
+  // level count is odd the leftover single pass is the cheapest one (the
+  // two-element top).
+  std::vector<double> scratch(static_cast<size_t>(n / 2));
+  const double* src = data.data();
+  int64_t len = n;
+  for (; len >= 4; len /= 4) {
+    ForwardPass2(src, len / 4, scratch.data(), coeffs.data() + len / 2,
+                 coeffs.data() + len / 4);
+    src = scratch.data();
+  }
+  if (len == 2) {
+    ForwardPass(src, 1, scratch.data(), coeffs.data() + 1);
+    src = scratch.data();
+  }
+  coeffs[0] = src[0];
+  return coeffs;
+}
+
+std::vector<double> ForwardHaarScalar(const std::vector<double>& data) {
   const int64_t n = static_cast<int64_t>(data.size());
   DWM_CHECK(IsPowerOfTwo(static_cast<uint64_t>(n)));
   std::vector<double> coeffs(static_cast<size_t>(n));
@@ -29,6 +157,10 @@ int64_t PadToPowerOfTwo(std::vector<double>* data) {
   DWM_CHECK(data != nullptr);
   const int64_t original = static_cast<int64_t>(data->size());
   DWM_CHECK_GE(original, 1);
+  // Above 2^62 the next power of two (2^63) no longer fits the signed size
+  // arithmetic used throughout the error-tree code, so reject it here rather
+  // than trip NextPowerOfTwo's own 2^63 bound with a confusing message.
+  DWM_CHECK_LE(original, int64_t{1} << 62);
   const int64_t padded =
       static_cast<int64_t>(NextPowerOfTwo(static_cast<uint64_t>(original)));
   data->resize(static_cast<size_t>(padded), data->back());
@@ -36,6 +168,63 @@ int64_t PadToPowerOfTwo(std::vector<double>* data) {
 }
 
 std::vector<double> InverseHaar(const std::vector<double>& coeffs) {
+  const int64_t n = static_cast<int64_t>(coeffs.size());
+  DWM_CHECK(IsPowerOfTwo(static_cast<uint64_t>(n)));
+  std::vector<double> values(static_cast<size_t>(n));
+  values[0] = coeffs[0];
+  if (n == 1) return values;
+  // Expand two resolution levels per pass, in place and backward: iteration
+  // t reads values[t] and writes [4t, 4t+3], which never clobbers a pending
+  // read at t' < t (4t >= t, and every load precedes the stores). The
+  // half-resolution intermediates stay in registers instead of being stored
+  // and reloaded by a second pass; each output is built from the identical
+  // IEEE additions the single-level passes perform (x - y == x + (-y)
+  // exactly), so the expansion is bit-identical. When the level count is
+  // odd the leftover single pass is the cheapest one (the two-element top),
+  // done first so every fused pass stays level-aligned.
+  int64_t levels = 0;
+  while ((int64_t{1} << levels) < n) ++levels;
+  int64_t len = 1;
+  if ((levels & 1) != 0) {
+    const double avg = values[0];
+    const double c = coeffs[1];
+    values[0] = avg + c;
+    values[1] = avg - c;
+    len = 2;
+  }
+  for (; len < n; len *= 4) {
+    const double* d1 = coeffs.data() + len;
+    const double* d2 = coeffs.data() + 2 * len;
+    double* v = values.data();
+    for (int64_t t = len - 1; t >= 0; --t) {
+#if defined(__SSE2__)
+      const __m128d va = _mm_set1_pd(v[t]);
+      const double dt = d1[t];
+      const __m128d vd1 = _mm_set_pd(-dt, dt);  // (+d1, -d1) in lane order
+      const __m128d s = _mm_add_pd(va, vd1);    // (avg + d1, avg - d1)
+      const __m128d dd = _mm_loadu_pd(d2 + 2 * t);
+      const __m128d plus = _mm_add_pd(s, dd);
+      const __m128d minus = _mm_sub_pd(s, dd);
+      _mm_storeu_pd(v + 4 * t, _mm_unpacklo_pd(plus, minus));
+      _mm_storeu_pd(v + 4 * t + 2, _mm_unpackhi_pd(plus, minus));
+#else
+      const double avg = v[t];
+      const double dt = d1[t];
+      const double s0 = avg + dt;
+      const double s1 = avg - dt;
+      const double e0 = d2[2 * t];
+      const double e1 = d2[2 * t + 1];
+      v[4 * t] = s0 + e0;
+      v[4 * t + 1] = s0 - e0;
+      v[4 * t + 2] = s1 + e1;
+      v[4 * t + 3] = s1 - e1;
+#endif
+    }
+  }
+  return values;
+}
+
+std::vector<double> InverseHaarScalar(const std::vector<double>& coeffs) {
   const int64_t n = static_cast<int64_t>(coeffs.size());
   DWM_CHECK(IsPowerOfTwo(static_cast<uint64_t>(n)));
   std::vector<double> values(static_cast<size_t>(n));

@@ -12,12 +12,22 @@
 namespace dwm {
 
 // Forward transform of `data` (size must be a power of two, >= 1). Returns
-// the coefficient array in error-tree heap order (see error_tree.h).
+// the coefficient array in error-tree heap order (see error_tree.h). Uses a
+// SIMD fast path where available; the output is guaranteed byte-identical to
+// ForwardHaarScalar (determinism contract, DESIGN.md §12).
 std::vector<double> ForwardHaar(const std::vector<double>& data);
 
 // Inverse transform: exact reconstruction of the data from a full (dense)
-// coefficient array.
+// coefficient array. Byte-identical to InverseHaarScalar.
 std::vector<double> InverseHaar(const std::vector<double>& coeffs);
+
+// Scalar reference implementations. These are the semantic definition of the
+// transform: the optimized paths above must reproduce them bit for bit on
+// every input (including signed zeros and denormals), which
+// tests/haar_test.cc enforces. Kept for tests, benchmarks, and as the
+// fallback documentation of the recurrence.
+std::vector<double> ForwardHaarScalar(const std::vector<double>& data);
+std::vector<double> InverseHaarScalar(const std::vector<double>& coeffs);
 
 // Significance used by the conventional (L2-optimal) thresholding scheme:
 // |c_i| / sqrt(2^level(c_i)) (Section 2.3). The constant sqrt(n) factor is

@@ -43,6 +43,15 @@ TEST(BitsTest, NextPowerOfTwo) {
   EXPECT_EQ(NextPowerOfTwo(1000), 1024u);
 }
 
+TEST(BitsTest, NextPowerOfTwoTopOfRange) {
+  // The largest representable power of two and its whole preceding
+  // non-power range round up to 2^63 (a shift by 64 here would be UB; the
+  // implementation CHECK-guards the x > 2^63 inputs instead of wrapping).
+  EXPECT_EQ(NextPowerOfTwo(uint64_t{1} << 63), uint64_t{1} << 63);
+  EXPECT_EQ(NextPowerOfTwo((uint64_t{1} << 63) - 1), uint64_t{1} << 63);
+  EXPECT_EQ(NextPowerOfTwo((uint64_t{1} << 62) + 1), uint64_t{1} << 63);
+}
+
 TEST(RngTest, Deterministic) {
   Rng a(42);
   Rng b(42);

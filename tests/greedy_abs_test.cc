@@ -130,6 +130,32 @@ TEST(GreedyAbsTest, SubtreeRunWithIncomingError) {
   for (const auto& e : events) EXPECT_GE(e.error, std::abs(e_in) - 1e-9);
 }
 
+TEST(GreedyAbsTest, RetainedCountFollowsSynopsisWithZeroCoefficients) {
+  // Piecewise-constant data has many exactly-zero detail coefficients. The
+  // greedy prefix may "keep" some of them, but they are pruned from the
+  // materialized synopsis (they contribute nothing), so the reported
+  // retained count must equal the synopsis size, not the kept-slot count.
+  const auto data = testing::PiecewiseData(64, 3);
+  const auto coeffs = ForwardHaar(data);
+  int64_t zero_coeffs = 0;
+  for (double c : coeffs) zero_coeffs += (c == 0.0) ? 1 : 0;
+  ASSERT_GT(zero_coeffs, 0) << "fixture must contain zero coefficients";
+  for (int64_t b : {4, 16, 48, 64}) {
+    const GreedyAbsResult r = GreedyAbsFromCoeffs(coeffs, b);
+    EXPECT_EQ(r.retained, r.synopsis.size()) << "b=" << b;
+    EXPECT_LE(r.retained, b);
+    for (const Coefficient& c : r.synopsis.coefficients()) {
+      EXPECT_NE(c.value, 0.0) << "zero coefficient materialized at " << c.index;
+    }
+  }
+  // Fully constant data: only the average survives, whatever the budget.
+  const GreedyAbsResult constant =
+      GreedyAbs(std::vector<double>(32, 4.25), 10);
+  EXPECT_EQ(constant.retained, 1);
+  EXPECT_EQ(constant.synopsis.size(), 1);
+  EXPECT_EQ(constant.max_abs_error, 0.0);
+}
+
 TEST(GreedyAbsTest, BestPrefixNotWorseThanExactlyBudget) {
   // The best-of-last-B+1 rule can only improve on "exactly B kept".
   for (uint64_t seed = 0; seed < 8; ++seed) {

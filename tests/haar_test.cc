@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
+#include <limits>
+#include <utility>
 #include <vector>
 
 #include "test_util.h"
@@ -102,6 +106,73 @@ TEST(HaarPaddingTest, PaddedDomainRoundtrips) {
   EXPECT_EQ(data.size(), 1024u);
   const auto rec = InverseHaar(ForwardHaar(data));
   for (size_t i = 0; i < 1000; ++i) EXPECT_NEAR(rec[i], data[i], 1e-9);
+}
+
+// The determinism contract of DESIGN.md §12: the optimized (SIMD / fused)
+// transform paths must reproduce the scalar reference BIT for bit — value
+// equality is not enough, since -0.0 == 0.0 would hide a sign flip that a
+// later std::memcmp (serialization, shuffle dedup) would see.
+void ExpectBitIdentical(const std::vector<double>& got,
+                        const std::vector<double>& want, const char* what,
+                        int log_n, const char* family) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(std::bit_cast<uint64_t>(got[i]), std::bit_cast<uint64_t>(want[i]))
+        << what << " diverges at index " << i << " for n=2^" << log_n << " ("
+        << family << "): got " << got[i] << ", want " << want[i];
+  }
+}
+
+// Deterministic adversarial inputs: pseudo-random magnitudes salted with
+// negative zeros and denormals, the two value classes where an optimized
+// halving could legally differ if it were not the same IEEE operation.
+std::vector<double> AdversarialData(int64_t n, uint64_t seed) {
+  std::vector<double> data(static_cast<size_t>(n));
+  uint64_t state = seed * 0x9e3779b97f4a7c15ull + 1;
+  for (size_t i = 0; i < data.size(); ++i) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    const double r =
+        static_cast<double>(state >> 11) / 9007199254740992.0;  // [0, 1)
+    double v = (r - 0.5) * 2000.0;
+    if (i % 7 == 3) v = -0.0;
+    if (i % 11 == 5) v = std::numeric_limits<double>::denorm_min() *
+                         static_cast<double>(1 + i % 9);
+    if (i % 13 == 8) v = -std::numeric_limits<double>::denorm_min();
+    data[i] = v;
+  }
+  return data;
+}
+
+TEST(HaarTest, OptimizedPathsMatchScalarReferenceBitForBit) {
+  for (int log_n = 1; log_n <= 16; ++log_n) {
+    const int64_t n = int64_t{1} << log_n;
+    std::vector<std::pair<const char*, std::vector<double>>> families;
+    families.emplace_back("adversarial",
+                          AdversarialData(n, static_cast<uint64_t>(log_n)));
+    families.emplace_back("constant",
+                          std::vector<double>(static_cast<size_t>(n), 3.5));
+    std::vector<double> alternating(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      alternating[static_cast<size_t>(i)] = (i % 2 == 0) ? 1.0 : -1.0;
+    }
+    families.emplace_back("alternating", std::move(alternating));
+    std::vector<double> zeros(static_cast<size_t>(n), 0.0);
+    for (int64_t i = 0; i < n; i += 2) zeros[static_cast<size_t>(i)] = -0.0;
+    families.emplace_back("signed-zeros", std::move(zeros));
+    for (const auto& [family, data] : families) {
+      const std::vector<double> ref_coeffs = ForwardHaarScalar(data);
+      ExpectBitIdentical(ForwardHaar(data), ref_coeffs, "ForwardHaar", log_n,
+                         family);
+      ExpectBitIdentical(InverseHaar(ref_coeffs), InverseHaarScalar(ref_coeffs),
+                         "InverseHaar", log_n, family);
+      // Full round trip through both paths agrees bit for bit too.
+      ExpectBitIdentical(InverseHaar(ForwardHaar(data)),
+                         InverseHaarScalar(ref_coeffs), "round trip", log_n,
+                         family);
+    }
+  }
 }
 
 TEST(HaarTest, SignificanceNormalization) {

@@ -4,8 +4,12 @@
 
 #include <cmath>
 #include <limits>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "core/exact_small.h"
+#include "data/generators.h"
 #include "test_util.h"
 #include "wavelet/metrics.h"
 
@@ -157,6 +161,89 @@ INSTANTIATE_TEST_SUITE_P(
     Sweep, MhsPropertyTest,
     ::testing::Combine(::testing::Values(1, 2, 4, 6, 8, 10),
                        ::testing::Values(1.0, 4.0, 15.0)));
+
+void ExpectRowsEqual(const mhs::Row& got, const mhs::Row& want,
+                     const std::string& what) {
+  ASSERT_EQ(got.cells.size(), want.cells.size()) << what;
+  if (got.cells.empty()) return;  // both infeasible: lo is meaningless
+  EXPECT_EQ(got.lo, want.lo) << what;
+  for (size_t i = 0; i < got.cells.size(); ++i) {
+    EXPECT_EQ(got.cells[i].count, want.cells[i].count)
+        << what << " cell " << i;
+    EXPECT_EQ(got.cells[i].err, want.cells[i].err) << what << " cell " << i;
+  }
+}
+
+TEST(MhsArenaTest, RowHeapMatchesReferenceCombineOnFig5Family) {
+  // The fig5c/5d input family (SYN uniform [0, 1K]) at the micro-suite
+  // delta settings: every row of the arena build must equal — cell for
+  // cell, bit for bit — the level-by-level fold of CombineRowsReference.
+  for (const double quantum : {5.0, 0.5}) {
+    const auto data = MakeUniform(256, 1000.0, /*seed=*/1);
+    std::vector<mhs::Row> level(data.size() / 2);
+    for (size_t u = 0; u < level.size(); ++u) {
+      level[u] = mhs::PairRow(data[2 * u], data[2 * u + 1], 50.0, quantum);
+    }
+    const mhs::RowHeap rows = mhs::BuildRowHeap(level);
+    // Fold the reference combine upward, checking each arena slot against
+    // the materialized reference row of the same node.
+    int64_t slot_base = rows.width();  // inputs occupy [width, 2*width)
+    while (true) {
+      for (size_t i = 0; i < level.size(); ++i) {
+        ExpectRowsEqual(rows.CopyRow(slot_base + static_cast<int64_t>(i)),
+                        level[i],
+                        "quantum=" + std::to_string(quantum) + " slot=" +
+                            std::to_string(slot_base + static_cast<int64_t>(i)));
+      }
+      if (level.size() == 1) break;
+      std::vector<mhs::Row> next(level.size() / 2);
+      for (size_t i = 0; i < next.size(); ++i) {
+        next[i] = mhs::CombineRowsReference(level[2 * i], level[2 * i + 1]);
+      }
+      level = std::move(next);
+      slot_base /= 2;
+    }
+  }
+}
+
+TEST(MhsGridTest, PairRowAtExtremeValueToQuantumRatios) {
+  // Regression for the grid conversion: with |avg/quantum| around 1e13 an
+  // absolute 1e-9 slack is far below one ulp, so an exactly-on-grid window
+  // endpoint must still land on its grid point (relative slack), and the
+  // int64 conversion must be range-checked, not raw.
+  {
+    // avg = 12345678 * 5 sits exactly on the grid; eps = 0 keeps only it.
+    const double avg = 61728390.0;
+    const mhs::Row row = mhs::PairRow(avg, avg, 0.0, 5.0);
+    ASSERT_TRUE(row.feasible());
+    EXPECT_EQ(row.lo, 12345678);
+    EXPECT_EQ(row.hi(), 12345678);
+    EXPECT_EQ(row.cells[0].count, 0);  // both leaves equal the grid value
+  }
+  {
+    // Same magnitude, off-grid bound: the window still spans ~2*eps/quantum
+    // grid points around avg and every kept endpoint truly meets the bound.
+    const double a = 61728391.25;
+    const double b = 61728388.75;  // avg 61728390.0, eps covers both
+    const mhs::Row row = mhs::PairRow(a, b, 2.0, 0.25);
+    ASSERT_TRUE(row.feasible());
+    const double avg = (a + b) / 2.0;
+    EXPECT_GE(static_cast<double>(row.lo) * 0.25, avg - 2.0 - 1e-6);
+    EXPECT_LE(static_cast<double>(row.hi()) * 0.25, avg + 2.0 + 1e-6);
+    EXPECT_GT(row.cells.size(), 8u);  // ~17 grid points fit the window
+  }
+  {
+    // Ratio far beyond int64: the conversion clamps (no UB) and the row
+    // degrades to infeasible — "grid too coarse", never wrap-around.
+    const mhs::Row row = mhs::PairRow(1e300, 1e300, 1.0, 1e-300);
+    EXPECT_FALSE(row.feasible());
+  }
+  {
+    // Same on the negative side (x/quantum overflows to -inf).
+    const mhs::Row row = mhs::PairRow(-1e300, -1e300, 1.0, 1e-300);
+    EXPECT_FALSE(row.feasible());
+  }
+}
 
 }  // namespace
 }  // namespace dwm
