@@ -6,7 +6,9 @@
 #include "common/check.h"
 #include "common/stopwatch.h"
 #include "dist/tree_partition.h"
+#include "mr/checkpoint.h"
 #include "mr/job.h"
+#include "mr/pipeline.h"
 #include "wavelet/error_tree.h"
 #include "wavelet/metrics.h"
 
@@ -61,30 +63,38 @@ DistSynopsisResult RunCon(const std::vector<double>& data, int64_t budget,
   for (int64_t t = 0; t < num_base; ++t) splits[static_cast<size_t>(t)] = t;
 
   DistSynopsisResult result;
-  mr::JobStats stats;
-  std::vector<int64_t> unused;
-  result.status = mr::RunJobOr(spec, splits, cluster, &unused, &stats);
-  if (!result.status.ok()) {
-    result.report.jobs.push_back(stats);
-    return result;
-  }
-
-  // Reducer cleanup: the root sub-tree coefficients are the transform of
-  // the base averages (the top of the full decomposition).
-  Stopwatch finalize;
-  const std::vector<double> root_coeffs = ForwardHaar(averages);
-  for (int64_t i = 0; i < num_base; ++i) {
-    top.Offer(i, root_coeffs[static_cast<size_t>(i)]);
-  }
-  result.synopsis = Synopsis(n, top.Take());
-  if constexpr (audit::kEnabled) {
-    DWM_AUDIT_CHECK(result.synopsis.size() <= budget);
-  }
-  result.report.jobs.push_back(stats);
-  // Charged as a named driver span (it runs on the driver after the job);
-  // total_sim_seconds is unchanged, but rescheduling no longer drops it.
-  result.report.AddDriverSpan(
-      "con_finalize", finalize.ElapsedSeconds() * cluster.compute_scale);
+  mr::JobChain chain("con", cluster, &result.report, nullptr,
+                     mr::CheckpointFingerprint(data, {budget, base_leaves}));
+  chain.RunStage(
+      "build",
+      [&]() -> Status {
+        std::vector<int64_t> unused;
+        const Status status = chain.RunJob(spec, splits, &unused);
+        if (!status.ok()) return status;
+        // Reducer cleanup: the root sub-tree coefficients are the transform
+        // of the base averages (the top of the full decomposition).
+        Stopwatch finalize;
+        const std::vector<double> root_coeffs = ForwardHaar(averages);
+        for (int64_t i = 0; i < num_base; ++i) {
+          top.Offer(i, root_coeffs[static_cast<size_t>(i)]);
+        }
+        result.synopsis = Synopsis(n, top.Take());
+        if constexpr (audit::kEnabled) {
+          DWM_AUDIT_CHECK(result.synopsis.size() <= budget);
+        }
+        // Charged as a named driver span (it runs on the driver after the
+        // job); total_sim_seconds is unchanged, but rescheduling no longer
+        // drops it.
+        chain.AddDriverSpan(
+            "con_finalize", finalize.ElapsedSeconds() * cluster.compute_scale);
+        return Status::OK();
+      },
+      [&](mr::ByteBuffer& out) { dist_internal::PutSynopsis(out, result.synopsis); },
+      [&](mr::ByteReader& in) {
+        return dist_internal::GetSynopsis(in, n, &result.synopsis);
+      });
+  result.status = chain.status();
+  if (!result.status.ok()) return result;
   PublishSynopsisQuality("dcon", result.synopsis,
                          MaxAbsError(data, result.synopsis));
   return result;

@@ -1,6 +1,7 @@
 #include "dist/dgreedy.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <limits>
 #include <map>
@@ -16,7 +17,9 @@
 #include "dist/dist_common.h"
 #include "dist/serde.h"
 #include "dist/tree_partition.h"
+#include "mr/checkpoint.h"
 #include "mr/job.h"
+#include "mr/pipeline.h"
 #include "wavelet/error_tree.h"
 #include "wavelet/haar.h"
 #include "wavelet/metrics.h"
@@ -126,6 +129,14 @@ DGreedyResult RunDGreedy(const DGreedyContext& ctx,
       options.bucket_width > 0.0 ? options.bucket_width : 1e-9;
 
   DGreedyResult out;
+  mr::JobChain chain(
+      ctx.relative ? "dgreedy_rel" : "dgreedy_abs", cluster, &out.report,
+      nullptr,
+      mr::CheckpointFingerprint(
+          data, {budget, base_leaves, ctx.relative ? int64_t{1} : int64_t{0},
+                 static_cast<int64_t>(options.level2_workers),
+                 std::bit_cast<int64_t>(bucket_width),
+                 std::bit_cast<int64_t>(ctx.sanity)}));
   std::vector<int64_t> base_splits(static_cast<size_t>(num_base));
   for (int64_t t = 0; t < num_base; ++t) base_splits[static_cast<size_t>(t)] = t;
   const auto slice_bytes = [&](const int64_t&) {
@@ -136,40 +147,62 @@ DGreedyResult RunDGreedy(const DGreedyContext& ctx,
   // relative metric, the minimum leaf denominator per base). ----
   std::vector<double> averages(static_cast<size_t>(num_base), 0.0);
   std::vector<double> min_weights(static_cast<size_t>(num_base), 1.0);
-  {
-    mr::JobSpec<int64_t, int64_t, std::pair<double, double>, int64_t> spec;
-    spec.name = ctx.relative ? "dgreedyrel_transform" : "dgreedyabs_transform";
-    spec.num_reducers = 1;
-    spec.split_bytes = slice_bytes;
-    spec.map = [&](int64_t, const int64_t& t, const auto& emit) {
-      std::vector<double> slice(data.begin() + t * base_leaves,
-                                data.begin() + (t + 1) * base_leaves);
-      const std::vector<double> local = ForwardHaar(slice);
-      double min_w = kInfinity;
-      if (ctx.relative) {
-        for (double w :
-             SliceWeights(data, t * base_leaves, base_leaves, ctx.sanity)) {
-          min_w = std::min(min_w, w);
+  chain.RunStage(
+      "transform",
+      [&]() -> Status {
+        mr::JobSpec<int64_t, int64_t, std::pair<double, double>, int64_t> spec;
+        spec.name =
+            ctx.relative ? "dgreedyrel_transform" : "dgreedyabs_transform";
+        spec.num_reducers = 1;
+        spec.split_bytes = slice_bytes;
+        spec.map = [&](int64_t, const int64_t& t, const auto& emit) {
+          std::vector<double> slice(data.begin() + t * base_leaves,
+                                    data.begin() + (t + 1) * base_leaves);
+          const std::vector<double> local = ForwardHaar(slice);
+          double min_w = kInfinity;
+          if (ctx.relative) {
+            for (double w :
+                 SliceWeights(data, t * base_leaves, base_leaves, ctx.sanity)) {
+              min_w = std::min(min_w, w);
+            }
+          } else {
+            min_w = 1.0;
+          }
+          emit(t, {local[0], min_w});
+        };
+        spec.reduce = [&](const int64_t& t,
+                          std::vector<std::pair<double, double>>& values,
+                          std::vector<int64_t>*) {
+          DWM_CHECK_EQ(values.size(), 1u);
+          // dwm-analyze: allow(lambda-capture): num_reducers == 1 serializes reduce()
+          averages[static_cast<size_t>(t)] = values[0].first;
+          // dwm-analyze: allow(lambda-capture): num_reducers == 1 serializes reduce()
+          min_weights[static_cast<size_t>(t)] = values[0].second;
+        };
+        std::vector<int64_t> unused;
+        return chain.RunJob(spec, base_splits, &unused);
+      },
+      [&](mr::ByteBuffer& buffer) {
+        mr::Serde<std::vector<double>>::Put(buffer, averages);
+        mr::Serde<std::vector<double>>::Put(buffer, min_weights);
+      },
+      [&](mr::ByteReader& in) {
+        std::vector<double> new_averages =
+            mr::Serde<std::vector<double>>::Get(in);
+        std::vector<double> new_min_weights =
+            mr::Serde<std::vector<double>>::Get(in);
+        if (!in.ok() ||
+            new_averages.size() != static_cast<size_t>(num_base) ||
+            new_min_weights.size() != static_cast<size_t>(num_base)) {
+          return false;
         }
-      } else {
-        min_w = 1.0;
-      }
-      emit(t, {local[0], min_w});
-    };
-    spec.reduce = [&](const int64_t& t,
-                      std::vector<std::pair<double, double>>& values,
-                      std::vector<int64_t>*) {
-      DWM_CHECK_EQ(values.size(), 1u);
-      // dwm-analyze: allow(lambda-capture): num_reducers == 1 serializes reduce()
-      averages[static_cast<size_t>(t)] = values[0].first;
-      // dwm-analyze: allow(lambda-capture): num_reducers == 1 serializes reduce()
-      min_weights[static_cast<size_t>(t)] = values[0].second;
-    };
-    mr::JobStats stats;
-    std::vector<int64_t> unused;
-    out.status = mr::RunJobOr(spec, base_splits, cluster, &unused, &stats);
-    out.report.jobs.push_back(stats);
-    if (!out.status.ok()) return out;
+        averages = std::move(new_averages);
+        min_weights = std::move(new_min_weights);
+        return true;
+      });
+  if (!chain.ok()) {
+    out.status = chain.status();
+    return out;
   }
 
   // ---- Driver: root sub-tree + genRootSets (Algorithm 4). The root
@@ -196,10 +229,12 @@ DGreedyResult RunDGreedy(const DGreedyContext& ctx,
   // (Algorithms 3 and 5). Key: candidate |C_root| = s; values: the base id
   // plus one Pareto frontier point (bucketed error, kept count). ----
   std::vector<std::pair<int64_t, double>> candidates;  // (s, achievable E)
-  {
-    mr::JobSpec<int64_t, int64_t, std::pair<int64_t, FrontierPoint>,
-                std::pair<int64_t, double>>
-        spec;
+  chain.RunStage(
+      "hist",
+      [&]() -> Status {
+        mr::JobSpec<int64_t, int64_t, std::pair<int64_t, FrontierPoint>,
+                    std::pair<int64_t, double>>
+            spec;
     spec.name = ctx.relative ? "dgreedyrel_hist" : "dgreedyabs_hist";
     spec.num_reducers =
         static_cast<int>(std::clamp<int64_t>(options.level2_workers, 1,
@@ -271,10 +306,25 @@ DGreedyResult RunDGreedy(const DGreedyContext& ctx,
       }
       result->push_back({s, achieved});
     };
-    mr::JobStats stats;
-    out.status = mr::RunJobOr(spec, base_splits, cluster, &candidates, &stats);
-    out.report.jobs.push_back(stats);
-    if (!out.status.ok()) return out;
+        std::vector<std::pair<int64_t, double>> found;
+        const Status status = chain.RunJob(spec, base_splits, &found);
+        if (status.ok()) candidates = std::move(found);
+        return status;
+      },
+      [&](mr::ByteBuffer& buffer) {
+        mr::Serde<std::vector<std::pair<int64_t, double>>>::Put(buffer,
+                                                                candidates);
+      },
+      [&](mr::ByteReader& in) {
+        std::vector<std::pair<int64_t, double>> new_candidates =
+            mr::Serde<std::vector<std::pair<int64_t, double>>>::Get(in);
+        if (!in.ok()) return false;
+        candidates = std::move(new_candidates);
+        return true;
+      });
+  if (!chain.ok()) {
+    out.status = chain.status();
+    return out;
   }
 
   // Driver: pick the best C_root (smallest achieved error, then smaller s).
@@ -294,9 +344,11 @@ DGreedyResult RunDGreedy(const DGreedyContext& ctx,
   // ships exactly the suffix of its discard order that reaches the winning
   // error level (the cheapest local stopping point with error <= E*). ----
   std::vector<Coefficient> kept;
-  {
-    mr::JobSpec<int64_t, int64_t, std::pair<int64_t, double>, Coefficient>
-        spec;
+  chain.RunStage(
+      "construct",
+      [&]() -> Status {
+        mr::JobSpec<int64_t, int64_t, std::pair<int64_t, double>, Coefficient>
+            spec;
     spec.name = ctx.relative ? "dgreedyrel_construct" : "dgreedyabs_construct";
     spec.num_reducers = 1;
     spec.split_bytes = slice_bytes;
@@ -338,20 +390,27 @@ DGreedyResult RunDGreedy(const DGreedyContext& ctx,
         if (value != 0.0) result->push_back({index, value});
       }
     };
-    mr::JobStats stats;
-    out.status = mr::RunJobOr(spec, base_splits, cluster, &kept, &stats);
-    out.report.jobs.push_back(stats);
-    if (!out.status.ok()) return out;
-  }
-
-  // Add the retained root sub-tree coefficients (the size-best_s suffix of
-  // the discard order).
-  for (int64_t s = 1; s <= best_s; ++s) {
-    const int64_t node = discard_order[static_cast<size_t>(num_base - s)];
-    const double value = root_coeffs[static_cast<size_t>(node)];
-    if (value != 0.0) kept.push_back({node, value});
-  }
-  out.synopsis = Synopsis(n, std::move(kept));
+        const Status status = chain.RunJob(spec, base_splits, &kept);
+        if (!status.ok()) return status;
+        // Add the retained root sub-tree coefficients (the size-best_s
+        // suffix of the discard order).
+        for (int64_t s = 1; s <= best_s; ++s) {
+          const int64_t node =
+              discard_order[static_cast<size_t>(num_base - s)];
+          const double value = root_coeffs[static_cast<size_t>(node)];
+          if (value != 0.0) kept.push_back({node, value});
+        }
+        out.synopsis = Synopsis(n, std::move(kept));
+        return Status::OK();
+      },
+      [&](mr::ByteBuffer& buffer) {
+        dist_internal::PutSynopsis(buffer, out.synopsis);
+      },
+      [&](mr::ByteReader& in) {
+        return dist_internal::GetSynopsis(in, n, &out.synopsis);
+      });
+  out.status = chain.status();
+  if (!out.status.ok()) return out;
   if constexpr (audit::kEnabled) {
     // Synopsis post-conditions: the budget is an upper bound on the
     // retained coefficients, and the histogram-stage estimate is a bucket

@@ -1,7 +1,10 @@
 #include "dist/dindirect_haar.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <string>
+#include <utility>
 
 #include "common/audit.h"
 #include "common/bits.h"
@@ -11,7 +14,9 @@
 #include "dist/dist_common.h"
 #include "dist/dmin_haar_space.h"
 #include "dist/tree_partition.h"
+#include "mr/checkpoint.h"
 #include "mr/job.h"
+#include "mr/pipeline.h"
 #include "wavelet/error_tree.h"
 #include "wavelet/metrics.h"
 
@@ -35,8 +40,7 @@ void AuditSearchResult(const std::vector<double>& data, int64_t budget,
 // magnitudes (at most B+1 of them); the reducer merges them with the root
 // sub-tree coefficients built from the slice averages (Algorithm 2 line 2).
 Status LowerBoundJob(const std::vector<double>& data, int64_t budget,
-                     int64_t base_leaves, const mr::ClusterConfig& cluster,
-                     mr::SimReport* report, double* e_l) {
+                     int64_t base_leaves, mr::JobChain* chain, double* e_l) {
   const int64_t n = static_cast<int64_t>(data.size());
   const TreePartition partition = MakeTreePartition(n, base_leaves);
   std::vector<double> averages(static_cast<size_t>(partition.num_base), 0.0);
@@ -75,11 +79,8 @@ Status LowerBoundJob(const std::vector<double>& data, int64_t budget,
   for (int64_t t = 0; t < partition.num_base; ++t) {
     splits[static_cast<size_t>(t)] = t;
   }
-  mr::JobStats stats;
   std::vector<int64_t> unused;
-  const Status status = mr::RunJobOr(spec, splits, cluster, &unused, &stats);
-  report->jobs.push_back(stats);
-  DWM_RETURN_NOT_OK(status);
+  DWM_RETURN_NOT_OK(chain->RunJob(spec, splits, &unused));
 
   for (double c : ForwardHaar(averages)) magnitudes.push_back(std::abs(c));
   *e_l = 0.0;
@@ -95,9 +96,8 @@ Status LowerBoundJob(const std::vector<double>& data, int64_t budget,
 // reconstructs its aligned slice locally (Algorithm 2 line 1's bottom-up
 // max_abs computation with the B-term synopsis in memory).
 Status MaxAbsJob(const std::vector<double>& data, const Synopsis& synopsis,
-                 int64_t base_leaves, const mr::ClusterConfig& cluster,
-                 const std::string& name, mr::SimReport* report,
-                 double* out_max) {
+                 int64_t base_leaves, mr::JobChain* chain,
+                 const std::string& name, double* out_max) {
   const int64_t n = static_cast<int64_t>(data.size());
   double global_max = 0.0;
   mr::JobSpec<int64_t, int64_t, double, int64_t> spec;
@@ -126,11 +126,8 @@ Status MaxAbsJob(const std::vector<double>& data, const Synopsis& synopsis,
   for (size_t t = 0; t < splits.size(); ++t) {
     splits[t] = static_cast<int64_t>(t);
   }
-  mr::JobStats stats;
   std::vector<int64_t> unused;
-  const Status status = mr::RunJobOr(spec, splits, cluster, &unused, &stats);
-  report->jobs.push_back(stats);
-  DWM_RETURN_NOT_OK(status);
+  DWM_RETURN_NOT_OK(chain->RunJob(spec, splits, &unused));
   *out_max = global_max;
   return Status::OK();
 }
@@ -147,27 +144,70 @@ DIndirectHaarResult DIndirectHaar(const std::vector<double>& data,
       std::clamp<int64_t>(2 * options.subtree_inputs, 2, n / 2);
 
   DIndirectHaarResult out;
+  // Sub-runs (CON and the DMHS probes) manage their own chains; scoping
+  // their checkpoint files under "<scope>/dih/..." keeps them from
+  // colliding with a standalone run of the same algorithm in the same
+  // checkpoint directory.
+  const std::string scope = cluster.checkpoint_scope.empty()
+                                ? "dih"
+                                : cluster.checkpoint_scope + "/dih";
+  mr::JobChain chain(
+      "dih", cluster, &out.report, nullptr,
+      mr::CheckpointFingerprint(
+          data, {options.budget, std::bit_cast<int64_t>(options.quantum),
+                 options.subtree_inputs}));
 
   // Line 1: e_u via the conventional synopsis (CON) plus an evaluation job.
-  DistSynopsisResult con = RunCon(data, options.budget, base_leaves, cluster);
-  out.report.Append(con.report);
-  if (!con.status.ok()) {
-    out.status = con.status;
-    return out;
-  }
+  Synopsis con_synopsis;
   double e_u = 0.0;
-  out.status = MaxAbsJob(data, con.synopsis, base_leaves, cluster,
-                         "dih_upper_bound", &out.report, &e_u);
-  if (!out.status.ok()) return out;
+  chain.RunStage(
+      "upper_bound",
+      [&]() -> Status {
+        mr::ClusterConfig scoped = cluster;
+        scoped.checkpoint_scope = scope;
+        DistSynopsisResult con =
+            RunCon(data, options.budget, base_leaves, scoped);
+        out.report.Append(con.report);
+        DWM_RETURN_NOT_OK(con.status);
+        con_synopsis = std::move(con.synopsis);
+        return MaxAbsJob(data, con_synopsis, base_leaves, &chain,
+                         "dih_upper_bound", &e_u);
+      },
+      [&](mr::ByteBuffer& buffer) {
+        dist_internal::PutSynopsis(buffer, con_synopsis);
+        mr::Serde<double>::Put(buffer, e_u);
+      },
+      [&](mr::ByteReader& in) {
+        Synopsis restored;
+        if (!dist_internal::GetSynopsis(in, n, &restored)) return false;
+        const double bound = mr::Serde<double>::Get(in);
+        if (!in.ok()) return false;
+        con_synopsis = std::move(restored);
+        e_u = bound;
+        return true;
+      });
   // Line 2: e_l, the (B+1)-largest coefficient.
   double e_l = 0.0;
-  out.status = LowerBoundJob(data, options.budget, base_leaves, cluster,
-                             &out.report, &e_l);
-  if (!out.status.ok()) return out;
+  chain.RunStage(
+      "lower_bound",
+      [&]() -> Status {
+        return LowerBoundJob(data, options.budget, base_leaves, &chain, &e_l);
+      },
+      [&](mr::ByteBuffer& buffer) { mr::Serde<double>::Put(buffer, e_l); },
+      [&](mr::ByteReader& in) {
+        const double bound = mr::Serde<double>::Get(in);
+        if (!in.ok()) return false;
+        e_l = bound;
+        return true;
+      });
+  if (!chain.ok()) {
+    out.status = chain.status();
+    return out;
+  }
 
   if (e_u <= 1e-12) {
     out.search.converged = true;
-    out.search.synopsis = con.synopsis;
+    out.search.synopsis = con_synopsis;
     out.search.max_abs_error = e_u;
     AuditSearchResult(data, options.budget, out.search);
     PublishSynopsisQuality("dindirect_haar", out.search.synopsis,
@@ -185,13 +225,19 @@ DIndirectHaarResult DIndirectHaar(const std::vector<double>& data,
     // decisions are a pure function of job name/task/attempt); answer
     // "infeasible" without running so the search winds down cheaply.
     if (!out.status.ok()) return MhsResult{};
+    const int probe = ++probe_index;
+    // Each probe gets its own checkpoint namespace: probes reuse the dmhs_*
+    // job names with different eps, so sharing files would make every probe
+    // invalidate its predecessor's frames.
+    mr::ClusterConfig probe_cluster = cluster;
+    probe_cluster.checkpoint_scope = scope + "/probe" + std::to_string(probe);
     DmhsResult run = DMinHaarSpace(
-        data, {eps, options.quantum, options.subtree_inputs}, cluster);
+        data, {eps, options.quantum, options.subtree_inputs}, probe_cluster);
     // A zero-length marker span names the binary-search iteration, then the
     // probe's jobs and driver spans splice in at this point in the pipeline
     // (probe jobs reuse the dmhs_* names, so the marker is what tells
     // iterations apart in the trace).
-    out.report.AddDriverSpan("dih_probe" + std::to_string(++probe_index), 0.0);
+    out.report.AddDriverSpan("dih_probe" + std::to_string(probe), 0.0);
     metrics::Default()
         .GetCounter("dwm_dih_probes_total",
                     "DMinHaarSpace feasibility probes issued by the "

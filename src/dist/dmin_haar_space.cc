@@ -1,6 +1,7 @@
 #include "dist/dmin_haar_space.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <map>
 #include <utility>
@@ -12,7 +13,9 @@
 #include "dist/dist_common.h"
 #include "dist/serde.h"
 #include "mr/bytes.h"
+#include "mr/checkpoint.h"
 #include "mr/job.h"
+#include "mr/pipeline.h"
 #include "wavelet/error_tree.h"
 #include "wavelet/metrics.h"
 
@@ -38,6 +41,10 @@ DmhsResult DMinHaarSpace(const std::vector<double>& data,
   const int64_t fan = std::min(options.subtree_inputs, n / 2);
 
   DmhsResult out;
+  mr::JobChain chain(
+      "dmhs", cluster, &out.report, nullptr,
+      mr::CheckpointFingerprint(
+          data, {std::bit_cast<int64_t>(eps), std::bit_cast<int64_t>(q), fan}));
 
   // ---------------- Bottom-up phase (Algorithm 1). ----------------
   // Stage s has tasks[s] workers; worker i of stage s produces the M-row of
@@ -65,9 +72,14 @@ DmhsResult DMinHaarSpace(const std::vector<double>& data,
     std::vector<int64_t> splits(static_cast<size_t>(num_tasks));
     for (int64_t i = 0; i < num_tasks; ++i) splits[static_cast<size_t>(i)] = i;
 
-    // Emitted key: the consuming task of the next stage; value: (position
-    // within that task, row). The last stage emits to the driver (key 0).
-    mr::JobSpec<int64_t, int64_t, std::pair<int64_t, mhs::Row>, int64_t> spec;
+    chain.RunStage(
+        "up_" + std::to_string(s),
+        [&]() -> Status {
+          // Emitted key: the consuming task of the next stage; value:
+          // (position within that task, row). The last stage emits to the
+          // driver (key 0).
+          mr::JobSpec<int64_t, int64_t, std::pair<int64_t, mhs::Row>, int64_t>
+              spec;
     spec.name = "dmhs_up_" + std::to_string(s);
     spec.num_reducers = static_cast<int>(std::min<int64_t>(
         last ? 1 : tasks[static_cast<size_t>(s + 1)], cluster.reduce_slots));
@@ -126,18 +138,53 @@ DmhsResult DMinHaarSpace(const std::vector<double>& data,
         }
       }
     };
-    mr::JobStats stats;
-    std::vector<int64_t> unused;
-    out.status = mr::RunJobOr(spec, splits, cluster, &unused, &stats);
-    out.report.jobs.push_back(stats);
-    // Per-level DP communication, the number the MPC-on-trees line tracks:
-    // one counter child per up/down stage, accumulated across probes.
-    metrics::Default()
-        .GetCounter("dwm_dmhs_level_shuffle_bytes_total",
-                    "Shuffle bytes per DP level (up/down sweep stages)",
-                    {{"stage", stats.name}})
-        ->Increment(stats.shuffle_bytes);
-    if (!out.status.ok()) return out;
+          std::vector<int64_t> unused;
+          const Status status = chain.RunJob(spec, splits, &unused);
+          // Per-level DP communication, the number the MPC-on-trees line
+          // tracks: one counter child per up/down stage, accumulated across
+          // probes. Only live job runs count; a restored stage replays its
+          // shuffle bytes through the SimReport, not this registry counter.
+          const mr::JobStats& stats = out.report.jobs.back();
+          metrics::Default()
+              .GetCounter("dwm_dmhs_level_shuffle_bytes_total",
+                          "Shuffle bytes per DP level (up/down sweep stages)",
+                          {{"stage", stats.name}})
+              ->Increment(stats.shuffle_bytes);
+          return status;
+        },
+        [&](mr::ByteBuffer& buffer) {
+          if (last) {
+            mr::Serde<std::vector<mhs::Row>>::Put(buffer, final_rows);
+            return;
+          }
+          const auto& produced = stage_inputs[static_cast<size_t>(s + 1)];
+          buffer.PutScalar<uint64_t>(produced.size());
+          for (const std::vector<mhs::Row>& rows : produced) {
+            mr::Serde<std::vector<mhs::Row>>::Put(buffer, rows);
+          }
+        },
+        [&](mr::ByteReader& in) {
+          if (last) {
+            std::vector<mhs::Row> rows =
+                mr::Serde<std::vector<mhs::Row>>::Get(in);
+            if (!in.ok()) return false;
+            final_rows = std::move(rows);
+            return true;
+          }
+          std::vector<std::vector<mhs::Row>> produced;
+          const uint64_t count = in.GetScalar<uint64_t>();
+          for (uint64_t i = 0; i < count && in.ok(); ++i) {
+            produced.push_back(mr::Serde<std::vector<mhs::Row>>::Get(in));
+          }
+          auto& target = stage_inputs[static_cast<size_t>(s + 1)];
+          if (!in.ok() || produced.size() != target.size()) return false;
+          target = std::move(produced);
+          return true;
+        });
+    if (!chain.ok()) {
+      out.status = chain.status();
+      return out;
+    }
   }
 
   // ---------------- Driver: choose c_0 from the row of c_1. ----------------
@@ -189,9 +236,13 @@ DmhsResult DMinHaarSpace(const std::vector<double>& data,
     for (const auto& [task, v] : assignments) splits.push_back({task, v});
     std::map<int64_t, int64_t> next_assignments;
 
-    // Keys: -1 carries a selected coefficient, otherwise the key is the
-    // child task id and the value its incoming grid value.
-    mr::JobSpec<Split, int64_t, std::pair<int64_t, double>, int64_t> spec;
+    chain.RunStage(
+        "down_" + std::to_string(s),
+        [&]() -> Status {
+          // Keys: -1 carries a selected coefficient, otherwise the key is
+          // the child task id and the value its incoming grid value.
+          mr::JobSpec<Split, int64_t, std::pair<int64_t, double>, int64_t>
+              spec;
     spec.name = "dmhs_down_" + std::to_string(s);
     spec.num_reducers = 1;
     if (s == 0) {
@@ -271,16 +322,42 @@ DmhsResult DMinHaarSpace(const std::vector<double>& data,
         next_assignments[key] = values[0].first;
       }
     };
-    mr::JobStats stats;
-    std::vector<int64_t> unused;
-    out.status = mr::RunJobOr(spec, splits, cluster, &unused, &stats);
-    out.report.jobs.push_back(stats);
-    metrics::Default()
-        .GetCounter("dwm_dmhs_level_shuffle_bytes_total",
-                    "Shuffle bytes per DP level (up/down sweep stages)",
-                    {{"stage", stats.name}})
-        ->Increment(stats.shuffle_bytes);
-    if (!out.status.ok()) return out;
+          std::vector<int64_t> unused;
+          const Status status = chain.RunJob(spec, splits, &unused);
+          const mr::JobStats& stats = out.report.jobs.back();
+          metrics::Default()
+              .GetCounter("dwm_dmhs_level_shuffle_bytes_total",
+                          "Shuffle bytes per DP level (up/down sweep stages)",
+                          {{"stage", stats.name}})
+              ->Increment(stats.shuffle_bytes);
+          return status;
+        },
+        [&](mr::ByteBuffer& buffer) {
+          dist_internal::PutCoefficients(buffer, coeffs);
+          buffer.PutScalar<uint64_t>(next_assignments.size());
+          for (const auto& [task, v] : next_assignments) {
+            mr::Serde<int64_t>::Put(buffer, task);
+            mr::Serde<int64_t>::Put(buffer, v);
+          }
+        },
+        [&](mr::ByteReader& in) {
+          std::vector<Coefficient> new_coeffs;
+          if (!dist_internal::GetCoefficients(in, &new_coeffs)) return false;
+          std::map<int64_t, int64_t> new_assignments;
+          const uint64_t count = in.GetScalar<uint64_t>();
+          for (uint64_t i = 0; i < count && in.ok(); ++i) {
+            const int64_t task = mr::Serde<int64_t>::Get(in);
+            new_assignments[task] = mr::Serde<int64_t>::Get(in);
+          }
+          if (!in.ok() || new_assignments.size() != count) return false;
+          coeffs = std::move(new_coeffs);
+          next_assignments = std::move(new_assignments);
+          return true;
+        });
+    if (!chain.ok()) {
+      out.status = chain.status();
+      return out;
+    }
     assignments = std::move(next_assignments);
   }
 

@@ -12,7 +12,9 @@
 #include "dist/serde.h"
 #include "dist/tree_partition.h"
 #include "mr/bytes.h"
+#include "mr/checkpoint.h"
 #include "mr/job.h"
+#include "mr/pipeline.h"
 #include "wavelet/error_tree.h"
 #include "wavelet/haar.h"
 #include "wavelet/metrics.h"
@@ -62,6 +64,11 @@ DMinMaxVarResult DMinMaxVar(const std::vector<double>& data,
   const int64_t cap = budget * q;
 
   DMinMaxVarResult out;
+  mr::JobChain chain(
+      "dmmv", cluster, &out.report, nullptr,
+      mr::CheckpointFingerprint(
+          data, {budget, base_leaves, static_cast<int64_t>(q),
+                 static_cast<int64_t>(options.seed)}));
   std::vector<int64_t> base_splits(static_cast<size_t>(num_base));
   for (int64_t t = 0; t < num_base; ++t) base_splits[static_cast<size_t>(t)] = t;
   const auto slice_bytes = [&](const int64_t&) {
@@ -73,8 +80,11 @@ DMinMaxVarResult DMinMaxVar(const std::vector<double>& data,
   // average (Algorithm 1 lines 5-8). ----
   std::vector<mmv::Row> base_rows(static_cast<size_t>(num_base));
   std::vector<double> averages(static_cast<size_t>(num_base), 0.0);
-  {
-    mr::JobSpec<int64_t, int64_t, std::pair<double, mmv::Row>, int64_t> spec;
+  chain.RunStage(
+      "up",
+      [&]() -> Status {
+        mr::JobSpec<int64_t, int64_t, std::pair<double, mmv::Row>, int64_t>
+            spec;
     spec.name = "dminmaxvar_up";
     spec.num_reducers = 1;
     spec.split_bytes = slice_bytes;
@@ -94,11 +104,30 @@ DMinMaxVarResult DMinMaxVar(const std::vector<double>& data,
       // dwm-analyze: allow(lambda-capture): num_reducers == 1 serializes reduce()
       base_rows[static_cast<size_t>(t)] = std::move(values[0].second);
     };
-    mr::JobStats stats;
-    std::vector<int64_t> unused;
-    out.status = mr::RunJobOr(spec, base_splits, cluster, &unused, &stats);
-    out.report.jobs.push_back(stats);
-    if (!out.status.ok()) return out;
+        std::vector<int64_t> unused;
+        return chain.RunJob(spec, base_splits, &unused);
+      },
+      [&](mr::ByteBuffer& buffer) {
+        mr::Serde<std::vector<double>>::Put(buffer, averages);
+        mr::Serde<std::vector<mmv::Row>>::Put(buffer, base_rows);
+      },
+      [&](mr::ByteReader& in) {
+        std::vector<double> new_averages =
+            mr::Serde<std::vector<double>>::Get(in);
+        std::vector<mmv::Row> new_rows =
+            mr::Serde<std::vector<mmv::Row>>::Get(in);
+        if (!in.ok() ||
+            new_averages.size() != static_cast<size_t>(num_base) ||
+            new_rows.size() != static_cast<size_t>(num_base)) {
+          return false;
+        }
+        averages = std::move(new_averages);
+        base_rows = std::move(new_rows);
+        return true;
+      });
+  if (!chain.ok()) {
+    out.status = chain.status();
+    return out;
   }
 
   // ---- Driver (the topmost sub-tree, Algorithm 1 line 11): combine the
@@ -156,9 +185,19 @@ DMinMaxVarResult DMinMaxVar(const std::vector<double>& data,
   // ---- Job 2 (top-down re-entry): each assigned base worker recomputes
   // its local DP and materializes its choices. ----
   if (!assignments.empty()) {
-    using Split = std::pair<int64_t, int64_t>;  // (base, allotment units)
-    std::vector<Split> splits(assignments.begin(), assignments.end());
-    mr::JobSpec<Split, int64_t, std::pair<double, int64_t>, Coefficient> spec;
+    // Deltas against the driver-side root selection (recomputed identically
+    // on a resumed run), so the checkpoint carries only this job's
+    // contributions.
+    const int64_t spent_before = spent_units;
+    const size_t allocations_before = out.result.allocations.size();
+    std::vector<Coefficient> base_kept;
+    chain.RunStage(
+        "down",
+        [&]() -> Status {
+          using Split = std::pair<int64_t, int64_t>;  // (base, allotment units)
+          std::vector<Split> splits(assignments.begin(), assignments.end());
+          mr::JobSpec<Split, int64_t, std::pair<double, int64_t>, Coefficient>
+              spec;
     spec.name = "dminmaxvar_down";
     spec.num_reducers = 1;
     spec.split_bytes = [&](const Split&) {
@@ -199,11 +238,43 @@ DMinMaxVarResult DMinMaxVar(const std::vector<double>& data,
         }
       }
     };
-    mr::JobStats stats;
-    std::vector<Coefficient> base_kept;
-    out.status = mr::RunJobOr(spec, splits, cluster, &base_kept, &stats);
-    out.report.jobs.push_back(stats);
-    if (!out.status.ok()) return out;
+          return chain.RunJob(spec, splits, &base_kept);
+        },
+        [&](mr::ByteBuffer& buffer) {
+          mr::Serde<int64_t>::Put(buffer, spent_units - spent_before);
+          buffer.PutScalar<uint64_t>(out.result.allocations.size() -
+                                     allocations_before);
+          for (size_t i = allocations_before;
+               i < out.result.allocations.size(); ++i) {
+            mr::Serde<int64_t>::Put(buffer, out.result.allocations[i].first);
+            buffer.PutScalar<int32_t>(out.result.allocations[i].second);
+          }
+          dist_internal::PutCoefficients(buffer, base_kept);
+        },
+        [&](mr::ByteReader& in) {
+          const int64_t spent_delta = mr::Serde<int64_t>::Get(in);
+          std::vector<std::pair<int64_t, int32_t>> new_allocations;
+          const uint64_t count = in.GetScalar<uint64_t>();
+          for (uint64_t i = 0; i < count && in.ok(); ++i) {
+            const int64_t node = mr::Serde<int64_t>::Get(in);
+            new_allocations.push_back({node, in.GetScalar<int32_t>()});
+          }
+          std::vector<Coefficient> new_kept;
+          if (!in.ok() || new_allocations.size() != count ||
+              !dist_internal::GetCoefficients(in, &new_kept)) {
+            return false;
+          }
+          spent_units += spent_delta;
+          out.result.allocations.insert(out.result.allocations.end(),
+                                        new_allocations.begin(),
+                                        new_allocations.end());
+          base_kept = std::move(new_kept);
+          return true;
+        });
+    if (!chain.ok()) {
+      out.status = chain.status();
+      return out;
+    }
     kept.insert(kept.end(), base_kept.begin(), base_kept.end());
   }
 

@@ -11,7 +11,9 @@
 #include "common/check.h"
 #include "common/stopwatch.h"
 #include "dist/tree_partition.h"
+#include "mr/checkpoint.h"
 #include "mr/job.h"
+#include "mr/pipeline.h"
 #include "wavelet/error_tree.h"
 #include "wavelet/metrics.h"
 
@@ -122,6 +124,59 @@ DistSynopsisResult RunHWTopk(const std::vector<double>& data, int64_t budget,
 
   const double kInf = std::numeric_limits<double>::infinity();
   DistSynopsisResult result;
+  mr::JobChain chain("hwtopk", cluster, &result.report, nullptr,
+                     mr::CheckpointFingerprint(data, {budget, num_mappers}));
+
+  // Cumulative round state, snapshotted after each round's stage commits:
+  // a resumed run restores the exact reducer state and re-derives the pure
+  // driver-side thresholds (T1/T2, candidates) from it.
+  auto save_rounds = [&](mr::ByteBuffer& out) {
+    out.PutScalar<uint64_t>(known.size());
+    for (const auto& [x, values] : known) {
+      mr::Serde<int64_t>::Put(out, x);
+      out.PutScalar<uint64_t>(values.size());
+      for (const auto& [mapper, v] : values) {
+        mr::Serde<int64_t>::Put(out, mapper);
+        mr::Serde<double>::Put(out, v);
+      }
+    }
+    mr::Serde<std::vector<double>>::Put(out, kth_high);
+    mr::Serde<std::vector<double>>::Put(out, kth_low);
+    out.PutScalar<uint64_t>(sent_all.size());
+    for (const char s : sent_all) {
+      out.PutScalar<uint8_t>(static_cast<uint8_t>(s));
+    }
+  };
+  auto restore_rounds = [&](mr::ByteReader& in) -> bool {
+    std::map<int64_t, std::map<int64_t, double>> new_known;
+    const uint64_t entries = in.GetScalar<uint64_t>();
+    for (uint64_t i = 0; i < entries && in.ok(); ++i) {
+      const int64_t x = mr::Serde<int64_t>::Get(in);
+      const uint64_t count = in.GetScalar<uint64_t>();
+      std::map<int64_t, double>& values = new_known[x];
+      for (uint64_t j = 0; j < count && in.ok(); ++j) {
+        const int64_t mapper = mr::Serde<int64_t>::Get(in);
+        values[mapper] = mr::Serde<double>::Get(in);
+      }
+    }
+    std::vector<double> new_high = mr::Serde<std::vector<double>>::Get(in);
+    std::vector<double> new_low = mr::Serde<std::vector<double>>::Get(in);
+    const uint64_t sent = in.GetScalar<uint64_t>();
+    std::vector<char> new_sent;
+    for (uint64_t i = 0; i < sent && in.ok(); ++i) {
+      new_sent.push_back(static_cast<char>(in.GetScalar<uint8_t>()));
+    }
+    if (!in.ok() || new_high.size() != static_cast<size_t>(m) ||
+        new_low.size() != static_cast<size_t>(m) ||
+        new_sent.size() != static_cast<size_t>(m)) {
+      return false;
+    }
+    known = std::move(new_known);
+    kth_high = std::move(new_high);
+    kth_low = std::move(new_low);
+    sent_all = std::move(new_sent);
+    return true;
+  };
 
   auto run_round = [&](const std::string& name,
                        const auto& selector) -> Status {
@@ -153,37 +208,42 @@ DistSynopsisResult RunHWTopk(const std::vector<double>& data, int64_t budget,
         }
       }
     };
-    mr::JobStats stats;
     std::vector<int64_t> unused;
-    const Status status = mr::RunJobOr(spec, splits, cluster, &unused, &stats);
-    result.report.jobs.push_back(stats);
-    return status;
+    return chain.RunJob(spec, splits, &unused);
   };
 
   // ---- Round 1: everyone's k highest and k lowest partials. ----
-  result.status = run_round(
-      "hwtopk_r1", [&](int64_t mapper, auto& partials, const auto& emit) {
-        std::sort(partials.begin(), partials.end(),
-                  [](const Partial& a, const Partial& b) {
-                    return a.value > b.value;
-                  });
-        const int64_t count = static_cast<int64_t>(partials.size());
-        if (count <= 2 * k) {
-          for (const Partial& p : partials) emit(p.node, {mapper, p.value});
-          emit(-1, {mapper, 0.0});  // sent everything: unknown => absent => 0
-          emit(-2, {mapper, 0.0});
-          return;
-        }
-        for (int64_t i = 0; i < k; ++i) {
-          emit(partials[static_cast<size_t>(i)].node,
-               {mapper, partials[static_cast<size_t>(i)].value});
-          emit(partials[static_cast<size_t>(count - 1 - i)].node,
-               {mapper, partials[static_cast<size_t>(count - 1 - i)].value});
-        }
-        emit(-1, {mapper, partials[static_cast<size_t>(k - 1)].value});
-        emit(-2, {mapper, partials[static_cast<size_t>(count - k)].value});
-      });
-  if (!result.status.ok()) return result;
+  chain.RunStage(
+      "r1",
+      [&]() -> Status {
+        return run_round(
+            "hwtopk_r1", [&](int64_t mapper, auto& partials, const auto& emit) {
+              std::sort(partials.begin(), partials.end(),
+                        [](const Partial& a, const Partial& b) {
+                          return a.value > b.value;
+                        });
+              const int64_t count = static_cast<int64_t>(partials.size());
+              if (count <= 2 * k) {
+                for (const Partial& p : partials) emit(p.node, {mapper, p.value});
+                emit(-1, {mapper, 0.0});  // sent everything: unknown => absent => 0
+                emit(-2, {mapper, 0.0});
+                return;
+              }
+              for (int64_t i = 0; i < k; ++i) {
+                emit(partials[static_cast<size_t>(i)].node,
+                     {mapper, partials[static_cast<size_t>(i)].value});
+                emit(partials[static_cast<size_t>(count - 1 - i)].node,
+                     {mapper, partials[static_cast<size_t>(count - 1 - i)].value});
+              }
+              emit(-1, {mapper, partials[static_cast<size_t>(k - 1)].value});
+              emit(-2, {mapper, partials[static_cast<size_t>(count - k)].value});
+            });
+      },
+      save_rounds, restore_rounds);
+  if (!chain.ok()) {
+    result.status = chain.status();
+    return result;
+  }
 
   // Which mappers can hold a partial for coefficient x at all: only those
   // whose split intersects x's leaf range. This is static knowledge of the
@@ -249,15 +309,23 @@ DistSynopsisResult RunHWTopk(const std::vector<double>& data, int64_t budget,
   // |v| > T1 (a single-owner coefficient not in the top-k by its owner's
   // value cannot be in the global top-k). ----
   const double threshold_shared = t1 / static_cast<double>(m);
-  result.status = run_round(
-      "hwtopk_r2", [&](int64_t mapper, auto& partials, const auto& emit) {
-        for (const Partial& p : partials) {
-          if (std::abs(p.value) > (p.exclusive ? t1 : threshold_shared)) {
-            emit(p.node, {mapper, p.value});
-          }
-        }
-      });
-  if (!result.status.ok()) return result;
+  chain.RunStage(
+      "r2",
+      [&]() -> Status {
+        return run_round(
+            "hwtopk_r2", [&](int64_t mapper, auto& partials, const auto& emit) {
+              for (const Partial& p : partials) {
+                if (std::abs(p.value) > (p.exclusive ? t1 : threshold_shared)) {
+                  emit(p.node, {mapper, p.value});
+                }
+              }
+            });
+      },
+      save_rounds, restore_rounds);
+  if (!chain.ok()) {
+    result.status = chain.status();
+    return result;
+  }
 
   // Refine bounds with the round-2 caps, compute T2, prune to L.
   std::vector<double> taus2;
@@ -280,35 +348,47 @@ DistSynopsisResult RunHWTopk(const std::vector<double>& data, int64_t budget,
   }
 
   // ---- Round 3: exact values for every candidate in L. ----
-  result.status = run_round(
-      "hwtopk_r3", [&](int64_t mapper, auto& partials, const auto& emit) {
-        for (const Partial& p : partials) {
-          if (candidates.count(p.node) != 0) emit(p.node, {mapper, p.value});
+  chain.RunStage(
+      "r3",
+      [&]() -> Status {
+        const Status status = run_round(
+            "hwtopk_r3", [&](int64_t mapper, auto& partials, const auto& emit) {
+              for (const Partial& p : partials) {
+                if (candidates.count(p.node) != 0) emit(p.node, {mapper, p.value});
+              }
+            });
+        if (!status.ok()) return status;
+        Stopwatch finalize;
+        dist_internal::TopBySignificance top(budget);
+        for (int64_t x : candidates) {
+          const auto it = known.find(x);
+          if (it == known.end()) continue;
+          double normalized = 0.0;
+          for (const auto& [mapper, v] : it->second) normalized += v;
+          const double raw =
+              x <= 0
+                  ? normalized
+                  : normalized * std::sqrt(static_cast<double>(
+                                     int64_t{1} << NodeLevel(x)));
+          top.Offer(x, raw);
         }
+        result.synopsis = Synopsis(n, top.Take());
+        if constexpr (audit::kEnabled) {
+          DWM_AUDIT_CHECK(result.synopsis.size() <= budget);
+        }
+        // Same total as the old reduce-makespan accounting, but named and
+        // kept intact under rescheduling.
+        chain.AddDriverSpan(
+            "hwtopk_finalize",
+            finalize.ElapsedSeconds() * cluster.compute_scale);
+        return Status::OK();
+      },
+      [&](mr::ByteBuffer& out) { dist_internal::PutSynopsis(out, result.synopsis); },
+      [&](mr::ByteReader& in) {
+        return dist_internal::GetSynopsis(in, n, &result.synopsis);
       });
+  result.status = chain.status();
   if (!result.status.ok()) return result;
-
-  Stopwatch finalize;
-  dist_internal::TopBySignificance top(budget);
-  for (int64_t x : candidates) {
-    const auto it = known.find(x);
-    if (it == known.end()) continue;
-    double normalized = 0.0;
-    for (const auto& [mapper, v] : it->second) normalized += v;
-    const double raw =
-        x <= 0 ? normalized
-               : normalized *
-                     std::sqrt(static_cast<double>(int64_t{1} << NodeLevel(x)));
-    top.Offer(x, raw);
-  }
-  result.synopsis = Synopsis(n, top.Take());
-  if constexpr (audit::kEnabled) {
-    DWM_AUDIT_CHECK(result.synopsis.size() <= budget);
-  }
-  // Same total as the old reduce-makespan accounting, but named and kept
-  // intact under rescheduling.
-  result.report.AddDriverSpan(
-      "hwtopk_finalize", finalize.ElapsedSeconds() * cluster.compute_scale);
   PublishSynopsisQuality("hwtopk", result.synopsis,
                          MaxAbsError(data, result.synopsis));
   // TPUT pruning effectiveness: how many candidates survived into the

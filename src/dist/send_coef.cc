@@ -7,7 +7,9 @@
 #include "common/check.h"
 #include "common/stopwatch.h"
 #include "dist/tree_partition.h"
+#include "mr/checkpoint.h"
 #include "mr/job.h"
+#include "mr/pipeline.h"
 #include "wavelet/error_tree.h"
 #include "wavelet/metrics.h"
 
@@ -77,21 +79,30 @@ DistSynopsisResult RunSendCoef(const std::vector<double>& data, int64_t budget,
   }
 
   DistSynopsisResult result;
-  mr::JobStats stats;
-  std::vector<int64_t> unused;
-  result.status = mr::RunJobOr(spec, splits, cluster, &unused, &stats);
-  if (!result.status.ok()) {
-    result.report.jobs.push_back(stats);
-    return result;
-  }
-  Stopwatch finalize;
-  result.synopsis = Synopsis(n, top.Take());
-  if constexpr (audit::kEnabled) {
-    DWM_AUDIT_CHECK(result.synopsis.size() <= budget);
-  }
-  result.report.jobs.push_back(stats);
-  result.report.AddDriverSpan(
-      "sendcoef_finalize", finalize.ElapsedSeconds() * cluster.compute_scale);
+  mr::JobChain chain("send_coef", cluster, &result.report, nullptr,
+                     mr::CheckpointFingerprint(data, {budget, num_mappers}));
+  chain.RunStage(
+      "build",
+      [&]() -> Status {
+        std::vector<int64_t> unused;
+        const Status status = chain.RunJob(spec, splits, &unused);
+        if (!status.ok()) return status;
+        Stopwatch finalize;
+        result.synopsis = Synopsis(n, top.Take());
+        if constexpr (audit::kEnabled) {
+          DWM_AUDIT_CHECK(result.synopsis.size() <= budget);
+        }
+        chain.AddDriverSpan(
+            "sendcoef_finalize",
+            finalize.ElapsedSeconds() * cluster.compute_scale);
+        return Status::OK();
+      },
+      [&](mr::ByteBuffer& out) { dist_internal::PutSynopsis(out, result.synopsis); },
+      [&](mr::ByteReader& in) {
+        return dist_internal::GetSynopsis(in, n, &result.synopsis);
+      });
+  result.status = chain.status();
+  if (!result.status.ok()) return result;
   PublishSynopsisQuality("send_coef", result.synopsis,
                          MaxAbsError(data, result.synopsis));
   return result;

@@ -7,7 +7,9 @@
 #include "common/check.h"
 #include "common/stopwatch.h"
 #include "core/conventional.h"
+#include "mr/checkpoint.h"
 #include "mr/job.h"
+#include "mr/pipeline.h"
 #include "wavelet/metrics.h"
 
 namespace dwm {
@@ -49,24 +51,32 @@ DistSynopsisResult RunSendV(const std::vector<double>& data, int64_t budget,
   }
 
   DistSynopsisResult result;
-  mr::JobStats stats;
-  std::vector<int64_t> unused;
-  result.status = mr::RunJobOr(spec, splits, cluster, &unused, &stats);
-  if (!result.status.ok()) {
-    result.report.jobs.push_back(stats);
-    return result;
-  }
-
-  // Reducer cleanup: the full centralized pipeline — this sequential step
-  // is exactly why Send-V does not scale (Figure 10).
-  Stopwatch finalize;
-  result.synopsis = ConventionalFromCoeffs(ForwardHaar(collected), budget);
-  if constexpr (audit::kEnabled) {
-    DWM_AUDIT_CHECK(result.synopsis.size() <= budget);
-  }
-  result.report.jobs.push_back(stats);
-  result.report.AddDriverSpan(
-      "sendv_finalize", finalize.ElapsedSeconds() * cluster.compute_scale);
+  mr::JobChain chain("send_v", cluster, &result.report, nullptr,
+                     mr::CheckpointFingerprint(data, {budget, num_mappers}));
+  chain.RunStage(
+      "build",
+      [&]() -> Status {
+        std::vector<int64_t> unused;
+        const Status status = chain.RunJob(spec, splits, &unused);
+        if (!status.ok()) return status;
+        // Reducer cleanup: the full centralized pipeline — this sequential
+        // step is exactly why Send-V does not scale (Figure 10).
+        Stopwatch finalize;
+        result.synopsis = ConventionalFromCoeffs(ForwardHaar(collected), budget);
+        if constexpr (audit::kEnabled) {
+          DWM_AUDIT_CHECK(result.synopsis.size() <= budget);
+        }
+        chain.AddDriverSpan(
+            "sendv_finalize",
+            finalize.ElapsedSeconds() * cluster.compute_scale);
+        return Status::OK();
+      },
+      [&](mr::ByteBuffer& out) { dist_internal::PutSynopsis(out, result.synopsis); },
+      [&](mr::ByteReader& in) {
+        return dist_internal::GetSynopsis(in, n, &result.synopsis);
+      });
+  result.status = chain.status();
+  if (!result.status.ok()) return result;
   PublishSynopsisQuality("send_v", result.synopsis,
                          MaxAbsError(data, result.synopsis));
   return result;

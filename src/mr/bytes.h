@@ -19,6 +19,7 @@ namespace dwm::mr {
 class ByteBuffer {
  public:
   void PutRaw(const void* src, size_t len) {
+    if (len == 0) return;  // src may be an empty container's null data()
     const size_t old = data_.size();
     data_.resize(old + len);
     std::memcpy(data_.data() + old, src, len);
@@ -52,6 +53,7 @@ class ByteReader {
       : ByteReader(buf.data(), buf.size()) {}
 
   void GetRaw(void* dst, size_t len) {
+    if (len == 0) return;  // dst/data_ may be an empty container's null data()
     // `len <= size_ - pos_`, not `pos_ + len <= size_`: the latter wraps
     // for a corrupt length near SIZE_MAX and reads out of bounds.
     if (len > size_ - pos_) {

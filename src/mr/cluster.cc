@@ -40,6 +40,34 @@ int ResolveWorkerThreads(int worker_threads) {
   return hardware == 0 ? 1 : static_cast<int>(hardware);
 }
 
+int64_t ResolveMaxSkippedBadRecords(int64_t max_skipped_bad_records) {
+  if (max_skipped_bad_records >= 0) return max_skipped_bad_records;
+  if (const char* env = std::getenv("DWM_SKIP_BAD_RECORDS")) {
+    char* end = nullptr;
+    const long long parsed = std::strtoll(env, &end, 10);
+    // Strict, like DWM_THREADS: plain base-10 digits only.
+    const bool consumed =
+        end != env && *end == '\0' && env[0] >= '0' && env[0] <= '9';
+    if (consumed && parsed >= 0) return static_cast<int64_t>(parsed);
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true)) {
+      std::fprintf(stderr,
+                   "warning: ignoring malformed DWM_SKIP_BAD_RECORDS='%s' "
+                   "(want a non-negative integer); quarantine stays off\n",
+                   env);
+    }
+  }
+  return 0;
+}
+
+std::string ResolveCheckpointDir(const std::string& checkpoint_dir) {
+  if (!checkpoint_dir.empty()) return checkpoint_dir;
+  if (const char* env = std::getenv("DWM_CHECKPOINT")) {
+    return std::string(env);
+  }
+  return std::string();
+}
+
 Status ClusterConfig::Validate() const {
   if (map_slots < 1) {
     return Status::InvalidArgument("ClusterConfig: map_slots must be >= 1, got " +
@@ -80,6 +108,22 @@ Status ClusterConfig::Validate() const {
         "ClusterConfig: max_task_attempts must be >= 1, got " +
         std::to_string(max_task_attempts));
   }
+  if (max_job_attempts < 1) {
+    return Status::InvalidArgument(
+        "ClusterConfig: max_job_attempts must be >= 1, got " +
+        std::to_string(max_job_attempts));
+  }
+  if (!(retry_backoff_seconds >= 0.0)) {
+    return Status::InvalidArgument(
+        "ClusterConfig: retry_backoff_seconds must be >= 0, got " +
+        std::to_string(retry_backoff_seconds));
+  }
+  if (max_skipped_bad_records < -1) {
+    return Status::InvalidArgument(
+        "ClusterConfig: max_skipped_bad_records must be >= -1 (-1 = auto), "
+        "got " +
+        std::to_string(max_skipped_bad_records));
+  }
   if (worker_threads < 0) {
     return Status::InvalidArgument(
         "ClusterConfig: worker_threads must be >= 0 (0 = auto), got " +
@@ -103,7 +147,8 @@ JobStats RescheduleJob(const JobStats& job, const ClusterConfig& config) {
   if (!job.map_attempts.empty()) {
     const RecoverySchedule sched = ScheduleMakespanAttempts(
         job.map_attempts, config.map_slots,
-        config.speculative_slowness_threshold);
+        config.speculative_slowness_threshold, /*record_placements=*/false,
+        config.retry_backoff_seconds);
     out.map_makespan_seconds = sched.makespan_seconds;
     backups += sched.speculative_backups;
   } else {
@@ -113,7 +158,8 @@ JobStats RescheduleJob(const JobStats& job, const ClusterConfig& config) {
   if (!job.reduce_attempts.empty()) {
     const RecoverySchedule sched = ScheduleMakespanAttempts(
         job.reduce_attempts, config.reduce_slots,
-        config.speculative_slowness_threshold);
+        config.speculative_slowness_threshold, /*record_placements=*/false,
+        config.retry_backoff_seconds);
     out.reduce_makespan_seconds = sched.makespan_seconds;
     backups += sched.speculative_backups;
   } else {
@@ -166,7 +212,8 @@ double ScheduleMakespan(const std::vector<double>& task_seconds, int slots) {
 
 RecoverySchedule ScheduleMakespanAttempts(
     const std::vector<TaskExecution>& tasks, int slots,
-    double slowness_threshold, bool record_placements) {
+    double slowness_threshold, bool record_placements,
+    double retry_backoff_seconds) {
   // Backstop for direct callers (see ScheduleMakespan).
   // dwm-analyze: allow(recoverable-check): programmer-error backstop; Validate() surfaces the Status upstream
   DWM_CHECK_GE(slots, 1);  // dwm-lint: allow(mr-recoverable-check)
@@ -201,7 +248,9 @@ RecoverySchedule ScheduleMakespanAttempts(
                                     static_cast<int>(i) + 1, slot, start, end,
                                     /*failed=*/true, /*speculative=*/false});
         }
-        ready = end;  // the failure is observed when the attempt dies
+        // The failure is observed when the attempt dies; the retry becomes
+        // runnable only after the configured re-dispatch backoff.
+        ready = end + std::max(retry_backoff_seconds, 0.0);
         continue;
       }
       double finish = start + seconds;

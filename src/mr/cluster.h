@@ -45,6 +45,33 @@ struct ClusterConfig {
   // Hadoop mapreduce.map/reduce.maxattempts: a task may be retried until
   // this many attempts have failed; one more failure fails the job.
   int max_task_attempts = 4;
+  // Job-level recovery (mr/pipeline.h): when a job exhausts its task
+  // retries, a JobChain re-submits the *job* under a fresh attempt
+  // namespace ("name@2", "name@3", ...) up to this many submissions. The
+  // doomed submissions' attempt histories stay in the SimReport, so their
+  // cost lands in the makespan. 1 = no job retry (the pre-pipeline
+  // behavior: the first exhausted job fails the chain).
+  int max_job_attempts = 1;
+  // Seconds between a failed attempt being observed and its re-queued
+  // successor becoming runnable (Hadoop's AM retry dispatch is not free).
+  // Charged per failed attempt by ScheduleMakespanAttempts; 0 keeps the
+  // historical instant-requeue model.
+  double retry_backoff_seconds = 0.0;
+  // Bounded bad-record quarantine (Hadoop's mapreduce.map.skip.maxrecords
+  // analogue, reduce side): a corrupt shuffle record — bad length prefix or
+  // truncated frame — is skipped and counted instead of failing the job,
+  // until more than this many records were skipped job-wide. 0 =
+  // abort-on-first (the historical behavior); -1 = auto: the
+  // DWM_SKIP_BAD_RECORDS environment variable if set, otherwise 0.
+  int64_t max_skipped_bad_records = -1;
+  // Checkpointed resume (mr/checkpoint.h): directory a JobChain saves
+  // committed stage snapshots into and resumes from. Empty = auto: the
+  // DWM_CHECKPOINT environment variable if set, otherwise disabled.
+  std::string checkpoint_dir;
+  // Namespace prefix for checkpoint files, used by drivers that run other
+  // drivers as sub-pipelines (DIndirectHaar's probes) so nested chains get
+  // distinct stage files; empty for top-level runs.
+  std::string checkpoint_scope;
   // Speculative execution: when a task's final attempt runs slower than
   // `threshold x` its fault-free time, the scheduler launches a backup copy
   // on the next free slot; backup and original race and the earliest finish
@@ -58,9 +85,11 @@ struct ClusterConfig {
 
   // Validates user-settable knobs: slots >= 1, bandwidths and compute_scale
   // positive, overheads non-negative, max_task_attempts >= 1,
-  // worker_threads >= 0, speculative_slowness_threshold either 0 (off) or
-  // >= 1. RunJobOr calls this and returns the error instead of
-  // CHECK-aborting on a misconfiguration.
+  // max_job_attempts >= 1, retry_backoff_seconds >= 0,
+  // max_skipped_bad_records >= -1, worker_threads >= 0,
+  // speculative_slowness_threshold either 0 (off) or >= 1. RunJobOr calls
+  // this and returns the error instead of CHECK-aborting on a
+  // misconfiguration.
   [[nodiscard]] Status Validate() const;
 };
 
@@ -71,6 +100,17 @@ struct ClusterConfig {
 // falls back to auto instead of being silently misread; "0" is the
 // documented explicit-auto spelling and stays silent.
 int ResolveWorkerThreads(int worker_threads);
+
+// Effective quarantine budget for a ClusterConfig::max_skipped_bad_records
+// value (resolves the -1 = auto case against DWM_SKIP_BAD_RECORDS); always
+// >= 0. Like DWM_THREADS, the variable is parsed strictly: anything but a
+// plain base-10 non-negative integer warns once and falls back to 0.
+int64_t ResolveMaxSkippedBadRecords(int64_t max_skipped_bad_records);
+
+// Effective checkpoint directory for a ClusterConfig::checkpoint_dir value
+// (resolves the empty = auto case against DWM_CHECKPOINT); empty means
+// checkpointing stays disabled.
+std::string ResolveCheckpointDir(const std::string& checkpoint_dir);
 
 // Completion time of `task_seconds` scheduled FIFO onto `slots` identical
 // slots (each next task starts on the earliest-free slot).
@@ -113,12 +153,12 @@ struct AttemptPlacement {
 };
 
 // Attempt-aware FIFO schedule: each task occupies a slot for every failed
-// attempt (re-queued after the failure is observed), and a final straggling
-// attempt (slowdown >= slowness_threshold, threshold >= 1) gets a
-// speculative backup launched on the next free slot once the original has
-// run past threshold x its fault-free time; backup and original race and
-// the earliest finish wins. Degenerates to ScheduleMakespan for clean
-// single-attempt histories.
+// attempt (re-queued `retry_backoff_seconds` after the failure is
+// observed), and a final straggling attempt (slowdown >= slowness_threshold,
+// threshold >= 1) gets a speculative backup launched on the next free slot
+// once the original has run past threshold x its fault-free time; backup
+// and original race and the earliest finish wins. Degenerates to
+// ScheduleMakespan for clean single-attempt histories.
 struct RecoverySchedule {
   double makespan_seconds = 0.0;
   int64_t speculative_backups = 0;
@@ -129,7 +169,8 @@ struct RecoverySchedule {
 };
 RecoverySchedule ScheduleMakespanAttempts(
     const std::vector<TaskExecution>& tasks, int slots,
-    double slowness_threshold, bool record_placements = false);
+    double slowness_threshold, bool record_placements = false,
+    double retry_backoff_seconds = 0.0);
 
 // Everything measured/modeled about one MapReduce job.
 struct JobStats {
@@ -174,6 +215,10 @@ struct JobStats {
   int64_t node_loss_kills = 0;     // failed attempts due to node loss
   int64_t straggler_attempts = 0;  // attempts that ran slowed
   int64_t speculative_backups = 0; // backup copies the scheduler launched
+  // Corrupt shuffle records skipped under the bad-record quarantine
+  // (ClusterConfig::max_skipped_bad_records); zero whenever the quarantine
+  // is off or the stream decoded cleanly.
+  int64_t skipped_bad_records = 0;
 
   double sim_seconds() const {
     return map_makespan_seconds + shuffle_seconds + reduce_makespan_seconds +

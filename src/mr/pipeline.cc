@@ -1,0 +1,164 @@
+#include "mr/pipeline.h"
+
+#include <cstdio>
+#include <map>
+
+#include "common/metrics.h"
+
+namespace dwm::mr {
+
+namespace pipeline_internal {
+
+void PublishJobRetry(const std::string& job) {
+  metrics::Default()
+      .GetCounter("dwm_mr_job_retries_total",
+                  "Job-level re-submissions after task-retry exhaustion "
+                  "(ClusterConfig::max_job_attempts)",
+                  {{"job", job}})
+      ->Increment();
+}
+
+void PublishStageResumed(const std::string& chain, const std::string& stage) {
+  metrics::Default()
+      .GetCounter("dwm_mr_stages_resumed_total",
+                  "Pipeline stages replayed from a verified checkpoint "
+                  "instead of recomputed",
+                  {{"chain", chain}, {"stage", stage}})
+      ->Increment();
+}
+
+}  // namespace pipeline_internal
+
+JobChain::JobChain(std::string name, const ClusterConfig& config,
+                   SimReport* report, Counters* counters,
+                   uint64_t fingerprint)
+    : name_(config.checkpoint_scope.empty()
+                ? std::move(name)
+                : config.checkpoint_scope + "/" + name),
+      config_(&config),
+      report_(report),
+      counters_(counters),
+      store_(ResolveCheckpointDir(config.checkpoint_dir), name_, fingerprint),
+      status_(Status::OK()) {}
+
+bool JobChain::RunStage(const std::string& stage,
+                        const std::function<Status()>& run,
+                        const StageSave& save, const StageRestore& restore) {
+  if (!status_.ok()) return false;
+  const int index = stage_index_++;
+  if (resume_active_ && store_.enabled()) {
+    std::vector<uint8_t> payload;
+    if (store_.Load(index, stage, &payload) &&
+        RestoreSnapshot(payload, restore)) {
+      ++resumed_stages_;
+      pipeline_internal::PublishStageResumed(name_, stage);
+      return true;
+    }
+    // Miss or failed verification: this and every later stage recompute
+    // live (a chain resumes only from a contiguous verified prefix).
+    resume_active_ = false;
+  }
+
+  const size_t jobs_before = report_->jobs.size();
+  const size_t spans_before = report_->driver_spans.size();
+  std::map<std::string, int64_t> counters_before;
+  if (counters_ != nullptr && store_.enabled()) {
+    counters_before = counters_->values();
+  }
+
+  const Status stage_status = run();
+  if (!stage_status.ok()) {
+    status_ = stage_status;
+    return false;
+  }
+
+  if (store_.enabled()) {
+    // Snapshot layout: the stage's report delta (jobs + driver spans, span
+    // positions relative to the stage start), the counter delta, then the
+    // driver's own state as a sized blob — the restore side verifies the
+    // frame structurally before any driver state is touched.
+    ByteBuffer payload;
+    payload.PutScalar<uint64_t>(report_->jobs.size() - jobs_before);
+    for (size_t j = jobs_before; j < report_->jobs.size(); ++j) {
+      PutJobStats(payload, report_->jobs[j]);
+    }
+    payload.PutScalar<uint64_t>(report_->driver_spans.size() - spans_before);
+    for (size_t s = spans_before; s < report_->driver_spans.size(); ++s) {
+      DriverSpan relative = report_->driver_spans[s];
+      relative.after_job -= static_cast<int64_t>(jobs_before);
+      PutDriverSpan(payload, relative);
+    }
+    std::vector<std::pair<std::string, int64_t>> counter_delta;
+    if (counters_ != nullptr) {
+      for (const auto& [key, value] : counters_->values()) {
+        const auto it = counters_before.find(key);
+        const int64_t delta =
+            value - (it == counters_before.end() ? 0 : it->second);
+        if (delta != 0) counter_delta.emplace_back(key, delta);
+      }
+    }
+    payload.PutScalar<uint64_t>(counter_delta.size());
+    for (const auto& [key, delta] : counter_delta) {
+      Serde<std::string>::Put(payload, key);
+      Serde<int64_t>::Put(payload, delta);
+    }
+    ByteBuffer state;
+    if (save) save(state);
+    payload.PutScalar<uint64_t>(state.size());
+    payload.PutRaw(state.data(), state.size());
+    const Status saved = store_.Save(index, stage, payload);
+    if (!saved.ok()) {
+      // A failed snapshot write degrades resume, not the run itself.
+      std::fprintf(stderr, "warning: %s (stage '%s' will recompute on resume)\n",
+                   saved.ToString().c_str(), stage.c_str());
+    }
+  }
+  return true;
+}
+
+bool JobChain::RestoreSnapshot(const std::vector<uint8_t>& payload,
+                               const StageRestore& restore) {
+  ByteReader reader(payload.data(), payload.size());
+  const uint64_t num_jobs = reader.GetScalar<uint64_t>();
+  std::vector<JobStats> jobs;
+  for (uint64_t j = 0; j < num_jobs && reader.ok(); ++j) {
+    jobs.push_back(GetJobStats(reader));
+  }
+  const uint64_t num_spans = reader.GetScalar<uint64_t>();
+  std::vector<DriverSpan> spans;
+  for (uint64_t s = 0; s < num_spans && reader.ok(); ++s) {
+    spans.push_back(GetDriverSpan(reader));
+  }
+  const uint64_t num_counters = reader.GetScalar<uint64_t>();
+  std::vector<std::pair<std::string, int64_t>> counter_delta;
+  for (uint64_t c = 0; c < num_counters && reader.ok(); ++c) {
+    std::string key = Serde<std::string>::Get(reader);
+    const int64_t delta = Serde<int64_t>::Get(reader);
+    counter_delta.emplace_back(std::move(key), delta);
+  }
+  const uint64_t state_size = reader.GetScalar<uint64_t>();
+  // Structural verification before any driver state moves: the driver blob
+  // must be exactly the frame's remainder. Only then does `restore` run,
+  // over a reader bounded to that blob, and it must consume all of it.
+  if (!reader.ok() || state_size != reader.remaining()) return false;
+  ByteReader state(payload.data() + (payload.size() - reader.remaining()),
+                   static_cast<size_t>(state_size));
+  if (restore && !restore(state)) return false;
+  if (!state.ok() || !state.Done()) return false;
+
+  const int64_t base = static_cast<int64_t>(report_->jobs.size());
+  for (JobStats& job : jobs) report_->jobs.push_back(std::move(job));
+  for (const DriverSpan& span : spans) {
+    report_->driver_spans.push_back(
+        {span.name, span.seconds, base + span.after_job});
+    report_->driver_seconds += span.seconds;
+  }
+  if (counters_ != nullptr) {
+    for (const auto& [key, delta] : counter_delta) {
+      counters_->Add(key, delta);
+    }
+  }
+  return true;
+}
+
+}  // namespace dwm::mr

@@ -25,9 +25,11 @@ std::vector<TaskExecution> SynthesizeAttempts(
 void AppendAttemptSpans(Trace& trace, const JobStats& job, int64_t job_index,
                         TaskPhase phase,
                         const std::vector<TaskExecution>& execs, int slots,
-                        double slowness_threshold, double phase_start) {
+                        double slowness_threshold, double retry_backoff_seconds,
+                        double phase_start) {
   const RecoverySchedule sched = ScheduleMakespanAttempts(
-      execs, slots, slowness_threshold, /*record_placements=*/true);
+      execs, slots, slowness_threshold, /*record_placements=*/true,
+      retry_backoff_seconds);
   for (const AttemptPlacement& p : sched.placements) {
     TraceSpan s;
     s.kind = SpanKind::kAttempt;
@@ -194,7 +196,8 @@ Trace BuildTrace(const SimReport& report, const ClusterConfig& config) {
     }
     AppendAttemptSpans(trace, job, static_cast<int64_t>(j), TaskPhase::kMap,
                        *map_execs, config.map_slots,
-                       config.speculative_slowness_threshold, map_start);
+                       config.speculative_slowness_threshold,
+                       config.retry_backoff_seconds, map_start);
 
     add_phase("shuffle", job.shuffle_seconds);
     {
@@ -219,7 +222,8 @@ Trace BuildTrace(const SimReport& report, const ClusterConfig& config) {
     }
     AppendAttemptSpans(trace, job, static_cast<int64_t>(j), TaskPhase::kReduce,
                        *reduce_execs, config.reduce_slots,
-                       config.speculative_slowness_threshold, reduce_start);
+                       config.speculative_slowness_threshold,
+                       config.retry_backoff_seconds, reduce_start);
 
     t = cursor;
   }

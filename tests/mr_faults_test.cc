@@ -215,6 +215,15 @@ TEST(ClusterValidateTest, EachBadKnobNamesItself) {
   c = ClusterConfig();
   c.speculative_slowness_threshold = 0.5;
   expect_bad(c, "speculative_slowness_threshold");
+  c = ClusterConfig();
+  c.max_job_attempts = 0;
+  expect_bad(c, "max_job_attempts");
+  c = ClusterConfig();
+  c.retry_backoff_seconds = -1.0;
+  expect_bad(c, "retry_backoff_seconds");
+  c = ClusterConfig();
+  c.max_skipped_bad_records = -2;
+  expect_bad(c, "max_skipped_bad_records");
   // Zero overheads and a zero threshold (speculation off) are legal.
   c = ClusterConfig();
   c.task_startup_seconds = 0.0;

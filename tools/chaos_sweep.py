@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Deterministic chaos sweep over the distributed drivers.
+
+Runs every `dwm_cli dbuild` algorithm against a fixed grid of DWM_FAULTS
+plans and asserts the engine's headline robustness invariant: a faulted run
+either
+
+  * exits 0 with output bytes identical to the fault-free baseline (the
+    fault plan was recoverable), or
+  * exits 1 with a Status that names the job that died ("job '<name>': ..."),
+    never a crash, hang, or silently-different synopsis.
+
+A kill-and-resume leg additionally runs each driver under a plan that kills
+every attempt while checkpointing (`--checkpoint`), then restarts it
+fault-free from the same directory and requires the resumed synopsis to be
+byte-identical to the baseline.
+
+Everything is seeded: the sweep is reproducible bit-for-bit, so it runs as
+a ctest (`chaos_sweep`, quick grid) and as a CI leg (full grid).
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+import tempfile
+
+# (algo, extra dbuild flags). eps/quantum for the error-bounded algorithms
+# are chosen feasible for the zipf07/max=1000 dataset below.
+ALGOS = [
+    ("dcon", []),
+    ("send-v", []),
+    ("send-coef", []),
+    ("hwtopk", []),
+    ("dgreedy-abs", []),
+    ("dgreedy-rel", ["--sanity", "1"]),
+    ("dmhs", ["--eps", "50", "--quantum", "0.5"]),
+    ("dmmv", []),
+    ("dih", ["--quantum", "0.5"]),
+]
+
+# (label, DWM_FAULTS-format plan). Seeds are fixed; every plan is a pure
+# hash so reruns reproduce the same kills, stragglers and node losses.
+FAULT_GRID = [
+    ("recoverable-failstop", "1:fail=0.05"),
+    ("recoverable-straggle", "2:straggle=0.3,slowdown=4"),
+    ("node-loss-heavy", "3:node_loss=0.25,nodes=8"),
+    ("mixed-chaos", "4"),  # the default chaos profile
+    ("retry-exhausting", "5:fail=0.9"),
+]
+
+# The kill plan for the resume leg: every attempt dies, so the first live
+# job always exhausts its retries and the run commits nothing past the
+# already-checkpointed prefix.
+LETHAL_PLAN = "9:fail=1"
+
+QUICK_ALGOS = ["dcon", "dgreedy-abs", "dmhs"]
+QUICK_FAULTS = ["recoverable-failstop", "retry-exhausting"]
+
+
+def scrubbed_env():
+    """Subprocess environment with every DWM_* knob removed: the sweep's
+    own flags are the only fault/checkpoint/thread configuration."""
+    env = {k: v for k, v in os.environ.items() if not k.startswith("DWM_")}
+    return env
+
+
+def run(cmd, env):
+    return subprocess.run(cmd, env=env, capture_output=True, text=True)
+
+
+def read_bytes(path):
+    with open(path, "rb") as f:
+        return f.read()
+
+
+class Sweep:
+    def __init__(self, cli, workdir, n):
+        self.cli = cli
+        self.workdir = workdir
+        self.env = scrubbed_env()
+        self.failures = []
+        self.runs = 0
+        self.data = os.path.join(workdir, "data.bin")
+        gen = run(
+            [cli, "gen", "--dataset", "zipf07", "--n", str(n), "--seed", "7",
+             "--output", self.data],
+            self.env)
+        if gen.returncode != 0:
+            sys.exit(f"data generation failed:\n{gen.stderr}")
+
+    def fail(self, message):
+        self.failures.append(message)
+        print(f"FAIL {message}")
+
+    def dbuild(self, algo, extra, out, faults=None, checkpoint=None,
+               threads=1):
+        cmd = [self.cli, "dbuild", "--algo", algo, "--input", self.data,
+               "--budget", "24", "--output", out, "--threads", str(threads)]
+        cmd += extra
+        if faults:
+            cmd += ["--faults", faults]
+        if checkpoint:
+            cmd += ["--checkpoint", checkpoint]
+        self.runs += 1
+        return run(cmd, self.env)
+
+    def check_failed_cleanly(self, algo, label, proc):
+        """A dead run must exit 1 (not a signal/abort) and name its job."""
+        if proc.returncode != 1:
+            self.fail(f"{algo}/{label}: exit {proc.returncode}, expected 1 "
+                      f"(clean named-job failure)\n{proc.stderr}")
+            return False
+        if "job '" not in proc.stderr + proc.stdout:
+            self.fail(f"{algo}/{label}: failure does not name the dead job:\n"
+                      f"{proc.stderr}")
+            return False
+        return True
+
+    def sweep_algo(self, algo, extra, fault_labels):
+        base_out = os.path.join(self.workdir, f"{algo}.base.dwm")
+        base = self.dbuild(algo, extra, base_out)
+        if base.returncode != 0:
+            self.fail(f"{algo}: fault-free baseline failed:\n{base.stderr}")
+            return
+        golden = read_bytes(base_out)
+
+        for label, plan in FAULT_GRID:
+            if label not in fault_labels:
+                continue
+            out = os.path.join(self.workdir, f"{algo}.{label}.dwm")
+            proc = self.dbuild(algo, extra, out, faults=plan, threads=4)
+            if proc.returncode == 0:
+                if read_bytes(out) != golden:
+                    self.fail(f"{algo}/{label}: recovered run diverged from "
+                              "the fault-free baseline")
+                else:
+                    print(f"ok   {algo}/{label}: recovered, byte-identical")
+            elif self.check_failed_cleanly(algo, label, proc):
+                print(f"ok   {algo}/{label}: died cleanly, named the job")
+
+        # Kill-and-resume: the lethal plan kills the run at its first live
+        # job; the fault-free restart resumes from the committed prefix and
+        # must reproduce the baseline bytes exactly.
+        ckpt = os.path.join(self.workdir, f"{algo}.ckpt")
+        os.makedirs(ckpt, exist_ok=True)
+        out = os.path.join(self.workdir, f"{algo}.resume.dwm")
+        killed = self.dbuild(algo, extra, out, faults=LETHAL_PLAN,
+                             checkpoint=ckpt, threads=4)
+        if not self.check_failed_cleanly(algo, "kill", killed):
+            return
+        resumed = self.dbuild(algo, extra, out, checkpoint=ckpt, threads=3)
+        if resumed.returncode != 0:
+            self.fail(f"{algo}/resume: restart from checkpoint failed:\n"
+                      f"{resumed.stderr}")
+        elif read_bytes(out) != golden:
+            self.fail(f"{algo}/resume: resumed synopsis diverged from the "
+                      "fault-free baseline")
+        else:
+            print(f"ok   {algo}/resume: killed, resumed byte-identical")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cli", required=True,
+                        help="path to the dwm_cli binary")
+    parser.add_argument("--workdir", default=None,
+                        help="scratch directory (default: a fresh tempdir)")
+    parser.add_argument("--n", type=int, default=4096,
+                        help="dataset size (power of two)")
+    parser.add_argument("--quick", action="store_true",
+                        help="subset grid for the ctest leg")
+    args = parser.parse_args()
+
+    workdir = args.workdir or tempfile.mkdtemp(prefix="dwm_chaos_")
+    os.makedirs(workdir, exist_ok=True)
+    sweep = Sweep(args.cli, workdir, args.n)
+
+    algos = [a for a in ALGOS if not args.quick or a[0] in QUICK_ALGOS]
+    fault_labels = {label for label, _ in FAULT_GRID
+                    if not args.quick or label in QUICK_FAULTS}
+    for algo, extra in algos:
+        sweep.sweep_algo(algo, extra, fault_labels)
+
+    print(f"\nchaos_sweep: {sweep.runs} runs, {len(sweep.failures)} "
+          f"failure(s)")
+    if sweep.failures:
+        for message in sweep.failures:
+            print(f"  - {message}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

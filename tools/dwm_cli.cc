@@ -7,8 +7,10 @@
 //                 indirect-haar|minmaxvar --budget B [--sanity S]
 //                 [--quantum Q] --output synopsis.dwm
 //   dwm_cli dbuild --input data.bin --algo dgreedy-abs|dgreedy-rel|dcon|
-//                 send-v|send-coef --budget B [--base-leaves L] [--sanity S]
-//                 [--threads T] [--faults seed[:k=v,...]] [--trace t.json]
+//                 send-v|send-coef|hwtopk|dmhs|dmmv|dih --budget B
+//                 [--base-leaves L] [--sanity S] [--quantum Q] [--eps E]
+//                 [--threads T] [--faults seed[:k=v,...]]
+//                 [--checkpoint DIR] [--trace t.json]
 //                 [--trace-stable t.json] [--metrics[=m.prom]]
 //                 --output synopsis.dwm
 //   dwm_cli info  --synopsis synopsis.dwm
@@ -36,6 +38,10 @@
 #include "data/io.h"
 #include "dist/dcon.h"
 #include "dist/dgreedy.h"
+#include "dist/dindirect_haar.h"
+#include "dist/dmin_haar_space.h"
+#include "dist/dmin_max_var.h"
+#include "dist/hwtopk.h"
 #include "dist/send_coef.h"
 #include "dist/send_v.h"
 #include "mr/cluster.h"
@@ -223,6 +229,9 @@ int CmdBuild(const Flags& flags) {
 // loss (same format as the DWM_FAULTS env knob; see src/mr/faults.h) —
 // results stay byte-identical unless a task exhausts its retries, in which
 // case dbuild reports the job that died and exits nonzero.
+// --checkpoint DIR (or DWM_CHECKPOINT=DIR) snapshots each completed
+// pipeline stage into DIR; a rerun with the same flags resumes from the
+// last committed stage and produces the same synopsis bytes.
 int CmdDBuild(const Flags& flags) {
   std::vector<double> data = LoadData(Require(flags, "input"));
   const int64_t original = dwm::PadToPowerOfTwo(&data);
@@ -243,6 +252,7 @@ int CmdDBuild(const Flags& flags) {
       return 2;
     }
   }
+  cluster.checkpoint_dir = Optional(flags, "checkpoint", "");
 
   dwm::Synopsis synopsis;
   dwm::mr::SimReport report;
@@ -272,6 +282,52 @@ int CmdDBuild(const Flags& flags) {
     dwm::DistSynopsisResult r =
         dwm::RunSendCoef(data, budget, base_leaves, cluster);
     synopsis = std::move(r.synopsis);
+    report = std::move(r.report);
+    job_status = r.status;
+  } else if (algo == "hwtopk") {
+    dwm::DistSynopsisResult r =
+        dwm::RunHWTopk(data, budget, base_leaves, cluster);
+    synopsis = std::move(r.synopsis);
+    report = std::move(r.report);
+    job_status = r.status;
+  } else if (algo == "dmhs") {
+    dwm::DmhsOptions options;
+    options.error_bound = std::atof(Optional(flags, "eps", "1").c_str());
+    options.quantum = std::atof(Optional(flags, "quantum", "0.5").c_str());
+    options.subtree_inputs =
+        std::min<int64_t>(options.subtree_inputs,
+                          static_cast<int64_t>(data.size()) / 2);
+    dwm::DmhsResult r = dwm::DMinHaarSpace(data, options, cluster);
+    if (r.status.ok() && !r.result.feasible) {
+      std::fprintf(stderr,
+                   "dmhs: no synopsis meets --eps %g at --quantum %g\n",
+                   options.error_bound, options.quantum);
+      return 1;
+    }
+    synopsis = std::move(r.result.synopsis);
+    report = std::move(r.report);
+    job_status = r.status;
+  } else if (algo == "dmmv") {
+    dwm::MinMaxVarOptions options;
+    options.budget = budget;
+    dwm::DMinMaxVarResult r =
+        dwm::DMinMaxVar(data, options, base_leaves, cluster);
+    synopsis = std::move(r.result.synopsis);
+    report = std::move(r.report);
+    job_status = r.status;
+  } else if (algo == "dih") {
+    dwm::DIndirectHaarOptions options;
+    options.budget = budget;
+    options.quantum = std::atof(Optional(flags, "quantum", "0.5").c_str());
+    options.subtree_inputs =
+        std::min<int64_t>(options.subtree_inputs,
+                          static_cast<int64_t>(data.size()) / 2);
+    dwm::DIndirectHaarResult r = dwm::DIndirectHaar(data, options, cluster);
+    if (r.status.ok() && !r.search.converged) {
+      std::fprintf(stderr, "dih: binary search did not converge\n");
+      return 1;
+    }
+    synopsis = std::move(r.search.synopsis);
     report = std::move(r.report);
     job_status = r.status;
   } else {

@@ -29,6 +29,13 @@ Checks (each can be suppressed per line with `// dwm-lint: allow(<rule>)`):
                   referenced as `TaskPhase::kFoo` by the trace layer
                   (src/mr/trace.cc): a new MR phase that never becomes
                   a span silently vanishes from every exported trace.
+  checkpoint-version
+                  Every checkpoint serde struct (any `struct *Checkpoint*`
+                  under src/) carries an explicit `version` member, and
+                  src/mr/checkpoint.h defines at least one: the on-disk
+                  frame format may evolve, and a reader must be able to
+                  reject a frame written by a different format version
+                  before trusting any field in it.
   stale-analyze-suppression
                   Every `dwm-analyze: allow(<rule>)` comment names a
                   rule tools/dwm_analyze.py still defines (checked
@@ -360,6 +367,45 @@ def check_dist_quality_metrics(findings, root):
                          "(see dist/dist_common.h)")
 
 
+CHECKPOINT_STRUCT_RE = re.compile(
+    r"\bstruct\s+(\w*Checkpoint\w*)\s*(?:final\s*)?(?::[^{;]*)?\{")
+CHECKPOINT_VERSION_MEMBER_RE = re.compile(r"\bversion\s*[;={]")
+
+
+def check_checkpoint_version(findings, root):
+    """Every checkpoint serde struct must carry an explicit `version`
+    member: CheckpointStore rejects frames whose version differs from
+    kCheckpointFormatVersion before decoding anything else, and that guard
+    only exists if the struct stores the version it was written with. The
+    canonical frame lives in src/mr/checkpoint.h; the check also fails if
+    that header stops defining one (a renamed frame must not silently
+    escape the rule)."""
+    canonical_rel = os.path.join("src", "mr", "checkpoint.h")
+    canonical_structs = 0
+    for rel_path in iter_sources(root):
+        if not rel_path.startswith("src"):
+            continue
+        with open(os.path.join(root, rel_path), encoding="utf-8") as f:
+            code = strip_comments_and_strings(f.read())
+        for match in CHECKPOINT_STRUCT_RE.finditer(code):
+            if rel_path == canonical_rel:
+                canonical_structs += 1
+            body = _matched_braces(code, code.index("{", match.end() - 1))
+            if CHECKPOINT_VERSION_MEMBER_RE.search(body):
+                continue
+            line = code[:match.start()].count("\n") + 1
+            findings.add(rel_path, line, "checkpoint-version",
+                         f"struct {match.group(1)} has no `version` member; "
+                         "checkpoint serde structs must store the on-disk "
+                         "format version so readers can reject frames from "
+                         "a different format (see src/mr/checkpoint.h)")
+    if canonical_structs == 0:
+        findings.add(canonical_rel, 1, "checkpoint-version",
+                     "src/mr/checkpoint.h defines no `struct *Checkpoint*`; "
+                     "the checkpoint frame must live here so the version "
+                     "rule covers it")
+
+
 def analyze_rule_names(root):
     """The rule registry of tools/dwm_analyze.py (its --list-rules output),
     or None when the analyzer is missing or unrunnable."""
@@ -434,6 +480,7 @@ def main():
     check_serde(findings, root)
     check_trace_phase_spans(findings, root)
     check_dist_quality_metrics(findings, root)
+    check_checkpoint_version(findings, root)
 
     count = findings.report()
     if count:
