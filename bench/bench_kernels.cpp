@@ -1,14 +1,15 @@
-// Kernel micro suite: raw single-node timings of the four hot kernels the
+// Kernel micro suite: raw single-node timings of the hot kernels the
 // distributed cost model charges per task — the Haar transform (forward and
-// inverse), the MinHaarSpace bottom-up combine (arena BuildRowHeap), and
-// the GreedyAbs discard loop. Each kernel reports one BenchReporter label
-// (kernels/haar-forward, kernels/haar-inverse, kernels/mhs-combine,
-// kernels/greedy-run); the Haar and combine kernels also time their scalar
-// reference implementations under a -ref suffix, so a recorded baseline
-// shows the optimized-vs-reference speedup next to byte-identical
-// deterministic checksums (the metrics snapshot is a pure function of the
-// input, so tools/bench_compare.py compares it exactly while the measured
-// makespans get the usual ratio tolerance).
+// inverse), the MinHaarSpace bottom-up combine (arena BuildRowHeap), the
+// GreedyAbs discard loop, and the synopsis point query (the serving hot
+// path). Each kernel reports one BenchReporter label (kernels/haar-forward,
+// kernels/haar-inverse, kernels/mhs-combine, kernels/greedy-run,
+// kernels/synopsis-point); kernels with a scalar/naive reference also time
+// it under a -ref suffix, so a recorded baseline shows the
+// optimized-vs-reference speedup next to byte-identical deterministic
+// checksums (the metrics snapshot is a pure function of the input, so
+// tools/bench_compare.py compares it exactly while the measured makespans
+// get the usual ratio tolerance).
 //
 // CI runs this binary under DWM_SCALE=-7 DWM_BENCH_SUITE=micro next to the
 // fig5c/5d harnesses, folding the kernel labels into the same
@@ -22,7 +23,9 @@
 #include "core/greedy_abs.h"
 #include "core/min_haar_space.h"
 #include "data/generators.h"
+#include "wavelet/error_tree.h"
 #include "wavelet/haar.h"
+#include "wavelet/synopsis.h"
 
 namespace {
 
@@ -45,6 +48,20 @@ double Sum(const std::vector<double>& v) {
   double sum = 0.0;
   for (double x : v) sum += x;
   return sum;
+}
+
+// Naive point query: one lower_bound over the whole coefficient array per
+// path node (the pre-merged-walk implementation), the reference the
+// synopsis-point kernel is paired against.
+double PointEstimateReference(const dwm::Synopsis& synopsis, int64_t leaf) {
+  double value = 0.0;
+  dwm::ForEachPathNode(synopsis.domain_size(), leaf, [&](int64_t node) {
+    const double c = synopsis.CoefficientValue(node);
+    if (c != 0.0) {
+      value += dwm::LeafSign(synopsis.domain_size(), node, leaf) * c;
+    }
+  });
+  return value;
 }
 
 }  // namespace
@@ -177,6 +194,35 @@ int main() {
     report("greedy-run", n_dp, 0.0, sec,
            {{"first_slot", static_cast<double>(first.slot)},
             {"last_error", last.error}});
+  }
+
+  // Synopsis point query (the serving hot path): merged-walk PointEstimate
+  // over every leaf vs the per-path-node lower_bound reference. The
+  // checksum is the left-to-right sum of all point estimates; the two must
+  // match bit for bit.
+  {
+    const dwm::Synopsis synopsis =
+        dwm::GreedyAbs(data_dp, /*budget=*/std::max<int64_t>(n_dp / 32, 1))
+            .synopsis;
+    double checksum = 0.0;
+    const double sec = MinSeconds([&] {
+      double sum = 0.0;
+      for (int64_t j = 0; j < n_dp; ++j) sum += synopsis.PointEstimate(j);
+      checksum = sum;
+    });
+    report("synopsis-point", n_dp, 0.0, sec, {{"checksum", checksum}});
+    double ref_checksum = 0.0;
+    const double ref_sec = MinSeconds([&] {
+      double sum = 0.0;
+      for (int64_t j = 0; j < n_dp; ++j) {
+        sum += PointEstimateReference(synopsis, j);
+      }
+      ref_checksum = sum;
+    });
+    report("synopsis-point-ref", n_dp, 0.0, ref_sec,
+           {{"checksum", ref_checksum}});
+    dwm::bench::PrintShapeCheck(checksum == ref_checksum,
+                                "point checksum == lower_bound reference");
   }
   return 0;
 }

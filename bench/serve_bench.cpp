@@ -1,0 +1,183 @@
+// Closed-loop load generator for the serving engine (src/serve/engine.h):
+// builds a synopsis, registers it as a shard, and drives a deterministic
+// skewed query stream through QueryEngine::AnswerBatch, measuring per-query
+// latency client-side (the next batch is issued only after the previous one
+// returns).
+//
+// Reported through BenchReporter under the "serve" suite:
+//   serve/closed-loop    makespan_seconds = wall time of the whole run;
+//                        metrics = deterministic answer checksum, query
+//                        count and cache hit/miss/eviction counters (exact
+//                        regression gate: the same stream must hit the
+//                        cache the same way and produce the same answers).
+//   serve/latency-p50|p95|p99, serve/mean-latency
+//                        makespan_seconds = that latency in seconds (the
+//                        tolerant field, since latency is measured). QPS is
+//                        printed and equals queries / wall seconds.
+//
+// The cache is sized well below the point-query working set so the skewed
+// stream exercises hits, misses and evictions in one run; DWM_SERVE_CACHE_BYTES
+// overrides it to experiment with other capacities.
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "core/greedy_abs.h"
+#include "data/generators.h"
+#include "serve/engine.h"
+
+namespace {
+
+// Exact nearest-rank percentile over a sorted sample.
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const size_t rank = static_cast<size_t>(q * static_cast<double>(sorted.size() - 1));
+  return sorted[rank];
+}
+
+}  // namespace
+
+int main() {
+  dwm::bench::PrintHeader(
+      "serve_bench",
+      "closed-loop query load against the serving engine (skewed point "
+      "stream + ranges through the subtree LRU cache)",
+      "deterministic answer checksum and cache hit/miss/eviction counts; "
+      "nonzero hit rate on the skewed stream; latency percentiles feed the "
+      "BENCH_serve regression gate");
+  dwm::bench::BenchReporter reporter("serve");
+
+  const int64_t n = std::max<int64_t>(1024, dwm::bench::ScaledN(18));
+  const int64_t budget = std::max<int64_t>(n / 64, 8);
+  const int64_t num_queries = std::max<int64_t>(n * 4, 4096);
+  const int64_t batch_size = 64;
+
+  const std::vector<double> data = dwm::MakeZipf(n, 0.7, 1000, /*seed=*/7);
+  dwm::Synopsis synopsis = dwm::GreedyAbs(data, budget).synopsis;
+
+  dwm::serve::EngineOptions options = dwm::serve::EngineOptions::FromEnv();
+  if (std::getenv("DWM_SERVE_CACHE_BYTES") == nullptr) {
+    // Default for the gate: hold about half the blocks (charged bytes
+    // include the cache's 64-byte per-entry overhead), so the skewed
+    // stream's hot set stays resident while the uniform tail keeps
+    // evicting the cold half.
+    const int64_t block = std::min<int64_t>(options.block_leaves, n);
+    const uint64_t block_cost =
+        static_cast<uint64_t>(block) * sizeof(double) + 64;
+    const uint64_t num_blocks = static_cast<uint64_t>(n / block);
+    options.cache_bytes = std::max<uint64_t>(num_blocks / 2, 2) * block_cost;
+  }
+  dwm::serve::QueryEngine engine(options);
+  dwm::serve::ShardKey key{"zipf07", "greedy_abs", budget};
+  engine.registry().Register(key, std::move(synopsis));
+
+  // Deterministic skewed stream: 85% point queries concentrated on a hot
+  // 1/16th of the domain (with a uniform 15%-of-points tail), 15% ranges.
+  dwm::Rng rng(/*seed=*/1234);
+  const int64_t hot_span = std::max<int64_t>(n / 16, 1);
+  std::vector<dwm::serve::Query> stream;
+  stream.reserve(static_cast<size_t>(num_queries));
+  for (int64_t i = 0; i < num_queries; ++i) {
+    dwm::serve::Query q;
+    const double roll = rng.NextDouble();
+    if (roll < 0.85) {
+      q.type = dwm::serve::QueryType::kPoint;
+      const bool hot = rng.NextDouble() < 0.85;
+      const int64_t span = hot ? hot_span : n;
+      q.lo = static_cast<int64_t>(rng.NextBounded(static_cast<uint64_t>(span)));
+      q.hi = q.lo;
+    } else {
+      q.type = roll < 0.925 ? dwm::serve::QueryType::kRangeSum
+                            : dwm::serve::QueryType::kRangeAvg;
+      const int64_t a =
+          static_cast<int64_t>(rng.NextBounded(static_cast<uint64_t>(n)));
+      const int64_t b =
+          static_cast<int64_t>(rng.NextBounded(static_cast<uint64_t>(n)));
+      q.lo = std::min(a, b);
+      q.hi = std::max(a, b);
+    }
+    stream.push_back(q);
+  }
+
+  // Closed loop: one batch in flight at a time; per-query latency is the
+  // batch turnaround divided by its size.
+  std::vector<double> latencies;
+  latencies.reserve(static_cast<size_t>(num_queries));
+  double checksum = 0.0;
+  dwm::Stopwatch wall;
+  std::vector<double> results;
+  for (int64_t first = 0; first < num_queries; first += batch_size) {
+    const int64_t count = std::min<int64_t>(batch_size, num_queries - first);
+    const std::vector<dwm::serve::Query> batch(
+        stream.begin() + first, stream.begin() + first + count);
+    dwm::Stopwatch turn;
+    const dwm::Status status = engine.AnswerBatch(key, batch, &results);
+    const double seconds = turn.ElapsedSeconds();
+    if (!status.ok()) {
+      std::fprintf(stderr, "serve_bench: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    for (const double r : results) checksum += r;
+    const double per_query = seconds / static_cast<double>(count);
+    for (int64_t i = 0; i < count; ++i) latencies.push_back(per_query);
+  }
+  const double wall_seconds = wall.ElapsedSeconds();
+
+  std::sort(latencies.begin(), latencies.end());
+  const double p50 = Percentile(latencies, 0.50);
+  const double p95 = Percentile(latencies, 0.95);
+  const double p99 = Percentile(latencies, 0.99);
+  const double mean = wall_seconds / static_cast<double>(num_queries);
+  const double qps = static_cast<double>(num_queries) / wall_seconds;
+  const dwm::serve::SubtreeCache::Stats stats = engine.CacheStats();
+  const double hit_rate =
+      stats.hits + stats.misses == 0
+          ? 0.0
+          : static_cast<double>(stats.hits) /
+                static_cast<double>(stats.hits + stats.misses);
+
+  std::printf("queries    : %lld in %.3f s (%.0f qps, batch %lld)\n",
+              static_cast<long long>(num_queries), wall_seconds, qps,
+              static_cast<long long>(batch_size));
+  std::printf("latency    : p50=%.3gus p95=%.3gus p99=%.3gus mean=%.3gus\n",
+              p50 * 1e6, p95 * 1e6, p99 * 1e6, mean * 1e6);
+  std::printf("cache      : hits=%llu misses=%llu evictions=%llu "
+              "(hit rate %.1f%%, %llu entries, %llu bytes of %llu)\n",
+              static_cast<unsigned long long>(stats.hits),
+              static_cast<unsigned long long>(stats.misses),
+              static_cast<unsigned long long>(stats.evictions),
+              hit_rate * 100.0, static_cast<unsigned long long>(stats.entries),
+              static_cast<unsigned long long>(stats.bytes),
+              static_cast<unsigned long long>(options.cache_bytes));
+  dwm::bench::PrintShapeCheck(stats.hits > 0,
+                              "skewed stream hits the subtree cache");
+  dwm::bench::PrintShapeCheck(stats.evictions > 0,
+                              "uniform tail evicts under the byte budget");
+
+  const auto report = [&](const char* label, double seconds,
+                          std::vector<std::pair<std::string, double>> metrics) {
+    dwm::bench::BenchRun run;
+    run.label = std::string("serve/") + label;
+    run.dataset = "zipf07";
+    run.n = n;
+    run.budget = static_cast<double>(budget);
+    run.makespan_seconds = seconds;
+    run.metrics = std::move(metrics);
+    reporter.Report(run);
+  };
+  report("closed-loop", wall_seconds,
+         {{"checksum", checksum},
+          {"queries", static_cast<double>(num_queries)},
+          {"cache_hits", static_cast<double>(stats.hits)},
+          {"cache_misses", static_cast<double>(stats.misses)},
+          {"cache_evictions", static_cast<double>(stats.evictions)}});
+  report("latency-p50", p50, {});
+  report("latency-p95", p95, {});
+  report("latency-p99", p99, {});
+  report("mean-latency", mean, {});
+  return 0;
+}

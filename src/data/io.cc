@@ -1,5 +1,6 @@
 #include "data/io.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -79,8 +80,14 @@ Status ReadSynopsis(const std::string& path, Synopsis* synopsis) {
   if (magic != kSynopsisMagic) {
     return Status::InvalidArgument("not a synopsis file: " + path);
   }
+  if (domain < 0 || count > static_cast<uint64_t>(domain)) {
+    return Status::InvalidArgument("corrupt synopsis header: " + path);
+  }
   std::vector<Coefficient> coefficients;
-  coefficients.reserve(count);
+  // The count is data-driven; cap the pre-reservation so a corrupt header
+  // cannot request an absurd allocation before the per-record reads fail.
+  coefficients.reserve(
+      static_cast<size_t>(std::min<uint64_t>(count, uint64_t{1} << 20)));
   for (uint64_t i = 0; i < count; ++i) {
     Coefficient c;
     in.read(reinterpret_cast<char*>(&c.index), sizeof(c.index));
@@ -88,7 +95,10 @@ Status ReadSynopsis(const std::string& path, Synopsis* synopsis) {
     if (!in) return Status::IOError("truncated payload: " + path);
     coefficients.push_back(c);
   }
-  *synopsis = Synopsis(domain, std::move(coefficients));
+  // Create (not the CHECKing constructor): the pairs are file bytes, so
+  // duplicate or out-of-range indices must surface as a Status, never abort.
+  DWM_RETURN_NOT_OK(Synopsis::Create(domain, std::move(coefficients),
+                                     synopsis));
   return Status::OK();
 }
 

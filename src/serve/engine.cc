@@ -1,0 +1,155 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+#include "common/bits.h"
+#include "common/check.h"
+
+namespace dwm::serve {
+namespace {
+
+// Strict parse of a non-negative byte count; returns false (leaving *out
+// alone) on empty/garbage/trailing characters rather than truncating.
+bool ParseBytes(const char* text, uint64_t* out) {
+  if (text == nullptr || *text == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0') return false;
+  *out = static_cast<uint64_t>(v);
+  return true;
+}
+
+}  // namespace
+
+EngineOptions EngineOptions::FromEnv() {
+  EngineOptions options;
+  uint64_t bytes = 0;
+  if (ParseBytes(std::getenv("DWM_SERVE_CACHE_BYTES"), &bytes)) {
+    options.cache_bytes = bytes;
+  }
+  return options;
+}
+
+QueryEngine::QueryEngine(EngineOptions options)
+    : options_(options),
+      cache_(options.cache_bytes),
+      queries_total_(metrics::Default().GetCounter(
+          "dwm_serve_queries_total", "Queries answered by the serve engine",
+          {}, metrics::Stability::kStable)),
+      cache_hits_(metrics::Default().GetCounter(
+          "dwm_serve_cache_hits_total", "Subtree cache hits", {},
+          metrics::Stability::kStable)),
+      cache_misses_(metrics::Default().GetCounter(
+          "dwm_serve_cache_misses_total", "Subtree cache misses", {},
+          metrics::Stability::kStable)),
+      cache_evictions_(metrics::Default().GetCounter(
+          "dwm_serve_cache_evictions_total", "Subtree cache evictions", {},
+          metrics::Stability::kStable)) {
+  DWM_CHECK_GT(options_.block_leaves, 0);
+  DWM_CHECK(IsPowerOfTwo(static_cast<uint64_t>(options_.block_leaves)));
+}
+
+Status QueryEngine::AnswerBatch(const ShardKey& key,
+                                const std::vector<Query>& queries,
+                                std::vector<double>* results) {
+  const Shard* shard = registry_.Find(key);
+  if (shard == nullptr) {
+    return Status::FailedPrecondition("serve: no shard registered for (" +
+                                      key.dataset + ", " + key.algo + ", B=" +
+                                      std::to_string(key.budget) + ")");
+  }
+  const Synopsis& synopsis = shard->synopsis;
+  const int64_t n = synopsis.domain_size();
+  // Validate the whole batch before answering any of it: a rejected batch
+  // must not leave half-filled results or perturb the cache state.
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const Query& q = queries[i];
+    const int64_t hi = q.type == QueryType::kPoint ? q.lo : q.hi;
+    if (q.lo < 0 || hi >= n || q.lo > hi) {
+      return Status::OutOfRange(
+          "serve: query " + std::to_string(i) + " [" + std::to_string(q.lo) +
+          ", " + std::to_string(hi) + "] outside domain [0, " +
+          std::to_string(n) + ")");
+    }
+  }
+
+  std::vector<double> answers(queries.size(), 0.0);
+  // Point queries grouped by block; (block, original position) pairs sorted
+  // so every block is resolved exactly once and results land back in
+  // request order. Stable outcome regardless of the queries' interleaving.
+  const int64_t block = std::min<int64_t>(options_.block_leaves, n);
+  std::vector<std::pair<int64_t, size_t>> points;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const Query& q = queries[i];
+    switch (q.type) {
+      case QueryType::kPoint:
+        points.emplace_back(q.lo / block * block, i);
+        break;
+      case QueryType::kRangeSum:
+        answers[i] = synopsis.RangeSum(q.lo, q.hi);
+        break;
+      case QueryType::kRangeAvg:
+        answers[i] =
+            synopsis.RangeSum(q.lo, q.hi) / static_cast<double>(q.hi - q.lo + 1);
+        break;
+    }
+  }
+  std::sort(points.begin(), points.end());
+
+  if (!points.empty()) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const std::vector<double>* cached = nullptr;
+    std::vector<double> local;  // fallback when the cache declines the block
+    int64_t current = -1;
+    for (const auto& [first, pos] : points) {
+      if (first != current) {
+        current = first;
+        const SubtreeCache::Key cache_key{shard->id, first};
+        cached = cache_.Get(cache_key);
+        if (cached == nullptr) {
+          local = synopsis.ReconstructRange(first, block);
+          cached = cache_.Put(cache_key, std::move(local));
+          if (cached == nullptr) {
+            // Block bigger than the whole cache (or cache_bytes == 0):
+            // Put left `local` untouched, answer from the local copy.
+            cached = &local;
+          }
+        }
+      }
+      answers[pos] = (*cached)[static_cast<size_t>(queries[pos].lo - current)];
+    }
+    // Sync cache stats into the global counters as deltas, so several
+    // engines (tests) can share the process-wide registry.
+    const SubtreeCache::Stats now = cache_.stats();
+    cache_hits_->Increment(static_cast<int64_t>(now.hits - exported_.hits));
+    cache_misses_->Increment(
+        static_cast<int64_t>(now.misses - exported_.misses));
+    cache_evictions_->Increment(
+        static_cast<int64_t>(now.evictions - exported_.evictions));
+    exported_ = now;
+  }
+
+  queries_total_->Increment(static_cast<int64_t>(queries.size()));
+  *results = std::move(answers);
+  return Status::OK();
+}
+
+Status QueryEngine::Answer(const ShardKey& key, const Query& query,
+                           double* result) {
+  std::vector<double> results;
+  DWM_RETURN_NOT_OK(AnswerBatch(key, {query}, &results));
+  *result = results.front();
+  return Status::OK();
+}
+
+SubtreeCache::Stats QueryEngine::CacheStats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return cache_.stats();
+}
+
+}  // namespace dwm::serve

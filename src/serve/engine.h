@@ -1,0 +1,96 @@
+// Long-running synopsis query engine: answers point / range-sum /
+// range-average queries against shards registered in a ShardRegistry,
+// batching point lookups per subtree block through a byte-capacity LRU
+// cache of ReconstructRange outputs (lru_cache.h).
+//
+// Determinism contract: answers are a pure function of (shard, query), and
+// the cache hit/miss/eviction counts are a pure function of the query
+// stream order — both are exported as kStable metrics and pinned by the
+// serve determinism gate (tools/serve_determinism.py).
+#ifndef DWMAXERR_SERVE_ENGINE_H_
+#define DWMAXERR_SERVE_ENGINE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "serve/lru_cache.h"
+#include "serve/registry.h"
+
+namespace dwm::serve {
+
+enum class QueryType {
+  kPoint,     // reconstructed value at leaf `lo`
+  kRangeSum,  // sum of leaves [lo, hi], inclusive
+  kRangeAvg,  // mean of leaves [lo, hi], inclusive
+};
+
+struct Query {
+  QueryType type = QueryType::kPoint;
+  int64_t lo = 0;
+  int64_t hi = 0;  // ignored for kPoint
+};
+
+struct EngineOptions {
+  // Byte budget of the hot-subtree cache. DWM_SERVE_CACHE_BYTES overrides
+  // the default in FromEnv(); 0 disables caching (every point query
+  // reconstructs its block).
+  uint64_t cache_bytes = 16ULL << 20;
+  // Leaves per cached block; must be a power of two. Clamped to the shard's
+  // domain size at query time.
+  int64_t block_leaves = 256;
+
+  // Defaults, with cache_bytes overridden by a strictly parsed
+  // DWM_SERVE_CACHE_BYTES (a malformed value is ignored, not truncated).
+  static EngineOptions FromEnv();
+};
+
+class QueryEngine {
+ public:
+  explicit QueryEngine(EngineOptions options);
+  QueryEngine() : QueryEngine(EngineOptions::FromEnv()) {}
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  // Shard loading/lookup. Registering over an existing key bumps the shard
+  // id, which implicitly invalidates that shard's cached blocks.
+  ShardRegistry& registry() { return registry_; }
+  const ShardRegistry& registry() const { return registry_; }
+
+  // Answers `queries` in order into *results (resized to queries.size()).
+  // The whole batch is validated first — unknown shard is
+  // FailedPrecondition, a malformed or out-of-domain range is OutOfRange —
+  // and on any failure *results is left untouched and nothing is answered.
+  // Point queries are grouped by subtree block so each hot block is
+  // reconstructed (or fetched from cache) once per batch.
+  [[nodiscard]] Status AnswerBatch(const ShardKey& key,
+                                   const std::vector<Query>& queries,
+                                   std::vector<double>* results);
+
+  // Single-query convenience wrapper over AnswerBatch.
+  [[nodiscard]] Status Answer(const ShardKey& key, const Query& query,
+                              double* result);
+
+  SubtreeCache::Stats CacheStats() const;
+
+ private:
+  const EngineOptions options_;
+  ShardRegistry registry_;
+
+  mutable std::mutex mu_;  // guards cache_
+  SubtreeCache cache_;
+
+  // Published to metrics::Default() (all kStable; see the header comment).
+  metrics::Counter* const queries_total_;
+  metrics::Counter* const cache_hits_;
+  metrics::Counter* const cache_misses_;
+  metrics::Counter* const cache_evictions_;
+  SubtreeCache::Stats exported_;  // last stats synced into the counters
+};
+
+}  // namespace dwm::serve
+
+#endif  // DWMAXERR_SERVE_ENGINE_H_

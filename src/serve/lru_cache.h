@@ -1,0 +1,128 @@
+// Byte-capacity LRU cache of reconstructed subtree blocks, the hot-path
+// store behind serve/engine.h. A key names one aligned leaf block of one
+// registered shard; the value is the ReconstructRange output for that
+// block. Capacity is counted in payload bytes (plus a flat per-entry
+// overhead estimate), not entries, so one huge block cannot silently pin
+// the whole budget while the entry count looks healthy.
+//
+// Externally synchronized: QueryEngine guards it with a mutex. Keeping the
+// lock outside lets the engine batch several lookups per acquisition.
+#ifndef DWMAXERR_SERVE_LRU_CACHE_H_
+#define DWMAXERR_SERVE_LRU_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace dwm::serve {
+
+class SubtreeCache {
+ public:
+  struct Key {
+    uint64_t shard = 0;  // ShardRegistry id, unique per registration
+    int64_t first = 0;   // first leaf of the aligned block
+
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      // splitmix64-style mix of the two fields; either alone is dense.
+      uint64_t h = k.shard * 0x9e3779b97f4a7c15ULL ^
+                   static_cast<uint64_t>(k.first);
+      h ^= h >> 30;
+      h *= 0xbf58476d1ce4e5b9ULL;
+      h ^= h >> 27;
+      return static_cast<size_t>(h);
+    }
+  };
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t bytes = 0;    // current charged bytes (payload + overhead)
+    uint64_t entries = 0;  // current entry count
+  };
+
+  explicit SubtreeCache(uint64_t capacity_bytes)
+      : capacity_bytes_(capacity_bytes) {}
+
+  SubtreeCache(const SubtreeCache&) = delete;
+  SubtreeCache& operator=(const SubtreeCache&) = delete;
+
+  // Returns the cached block and promotes it to most-recently-used, or
+  // nullptr on a miss. The pointer stays valid until the entry is evicted,
+  // i.e. at most until the next Put under the same lock.
+  const std::vector<double>* Get(const Key& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++stats_.misses;
+      return nullptr;
+    }
+    ++stats_.hits;
+    entries_.splice(entries_.begin(), entries_, it->second);
+    return &it->second->block;
+  }
+
+  // Inserts `block` (replacing any entry under `key`), evicting LRU entries
+  // until the byte budget holds. Returns a pointer to the stored block, or
+  // nullptr — leaving `block` untouched — when the block alone exceeds the
+  // whole capacity; the caller answers from its local copy instead.
+  const std::vector<double>* Put(const Key& key, std::vector<double>&& block) {
+    const uint64_t cost = ChargedBytes(block);
+    if (cost > capacity_bytes_) return nullptr;
+    auto it = index_.find(key);
+    if (it != index_.end()) Erase(it);
+    while (stats_.bytes + cost > capacity_bytes_) {
+      DWM_CHECK(!entries_.empty());
+      ++stats_.evictions;
+      Erase(index_.find(entries_.back().key));
+    }
+    entries_.push_front(Entry{key, std::move(block), cost});
+    index_.emplace(key, entries_.begin());
+    stats_.bytes += cost;
+    ++stats_.entries;
+    return &entries_.front().block;
+  }
+
+  uint64_t capacity_bytes() const { return capacity_bytes_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    Key key;
+    std::vector<double> block;
+    uint64_t charged = 0;
+  };
+  using List = std::list<Entry>;
+
+  // Flat estimate of the bookkeeping cost per entry (list node, hash map
+  // slot, vector header); keeps a flood of tiny blocks from blowing past
+  // the byte budget through pure overhead.
+  static constexpr uint64_t kEntryOverheadBytes = 64;
+
+  static uint64_t ChargedBytes(const std::vector<double>& block) {
+    return kEntryOverheadBytes + block.size() * sizeof(double);
+  }
+
+  void Erase(std::unordered_map<Key, List::iterator, KeyHash>::iterator it) {
+    stats_.bytes -= it->second->charged;
+    --stats_.entries;
+    entries_.erase(it->second);
+    index_.erase(it);
+  }
+
+  uint64_t capacity_bytes_;
+  List entries_;  // front = most recently used
+  std::unordered_map<Key, List::iterator, KeyHash> index_;
+  Stats stats_;
+};
+
+}  // namespace dwm::serve
+
+#endif  // DWMAXERR_SERVE_LRU_CACHE_H_

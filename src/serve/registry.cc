@@ -1,0 +1,41 @@
+#include "serve/registry.h"
+
+#include <utility>
+
+namespace dwm::serve {
+
+uint64_t ShardRegistry::Register(ShardKey key, Synopsis synopsis) {
+  const uint64_t id = next_id_++;
+  Shard& shard = shards_[key];
+  shard.key = std::move(key);
+  shard.id = id;
+  shard.synopsis = std::move(synopsis);
+  return id;
+}
+
+Status ShardRegistry::RegisterFile(const std::string& path,
+                                   const ShardKey& fallback, uint64_t* id) {
+  SynopsisFrame frame;
+  DWM_RETURN_NOT_OK(LoadServableSynopsis(path, &frame));
+  ShardKey key;
+  key.dataset = frame.dataset.empty() ? fallback.dataset : frame.dataset;
+  key.algo = frame.algo.empty() ? fallback.algo : frame.algo;
+  key.budget = frame.budget != 0 ? frame.budget : fallback.budget;
+  const uint64_t new_id = Register(std::move(key), std::move(frame.synopsis));
+  if (id != nullptr) *id = new_id;
+  return Status::OK();
+}
+
+const Shard* ShardRegistry::Find(const ShardKey& key) const {
+  auto it = shards_.find(key);
+  return it == shards_.end() ? nullptr : &it->second;
+}
+
+std::vector<ShardKey> ShardRegistry::Keys() const {
+  std::vector<ShardKey> keys;
+  keys.reserve(shards_.size());
+  for (const auto& [key, shard] : shards_) keys.push_back(key);
+  return keys;
+}
+
+}  // namespace dwm::serve

@@ -1,0 +1,66 @@
+// Per-dataset shard registry for the serving engine. A shard is one loaded
+// synopsis keyed by (dataset, algo, budget); registering under an existing
+// key replaces the shard and bumps the monotonically increasing shard id,
+// so cache entries for the old version (keyed by id, see lru_cache.h) can
+// never answer queries against the new one.
+#ifndef DWMAXERR_SERVE_REGISTRY_H_
+#define DWMAXERR_SERVE_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/format.h"
+#include "wavelet/synopsis.h"
+
+namespace dwm::serve {
+
+struct ShardKey {
+  std::string dataset;
+  std::string algo;
+  int64_t budget = 0;
+
+  friend auto operator<=>(const ShardKey&, const ShardKey&) = default;
+};
+
+struct Shard {
+  ShardKey key;
+  uint64_t id = 0;  // unique per registration, never reused
+  Synopsis synopsis;
+};
+
+class ShardRegistry {
+ public:
+  // Registers (or replaces) the shard under `key`. The synopsis must
+  // already be validated (Synopsis::Create / LoadServableSynopsis).
+  // Returns the new shard's id.
+  uint64_t Register(ShardKey key, Synopsis synopsis);
+
+  // Loads `path` via LoadServableSynopsis and registers it. Frame
+  // provenance fills the key; any field the file does not carry (legacy
+  // format) falls back to the given defaults. On failure the registry is
+  // unchanged.
+  [[nodiscard]] Status RegisterFile(const std::string& path,
+                                    const ShardKey& fallback,
+                                    uint64_t* id = nullptr);
+
+  // Shard under `key`, or nullptr. The pointer stays valid until the key
+  // is re-registered.
+  const Shard* Find(const ShardKey& key) const;
+
+  // All registered keys, in key order (deterministic for `dwm_cli serve`
+  // listings and tests).
+  std::vector<ShardKey> Keys() const;
+
+  size_t size() const { return shards_.size(); }
+
+ private:
+  std::map<ShardKey, Shard> shards_;
+  uint64_t next_id_ = 1;  // 0 is reserved as "no shard"
+};
+
+}  // namespace dwm::serve
+
+#endif  // DWMAXERR_SERVE_REGISTRY_H_

@@ -1,6 +1,7 @@
 #include "wavelet/synopsis.h"
 
 #include <algorithm>
+#include <string>
 
 #include "common/bits.h"
 #include "common/check.h"
@@ -8,19 +9,57 @@
 #include "wavelet/haar.h"
 
 namespace dwm {
+namespace {
 
-Synopsis::Synopsis(int64_t domain_size, std::vector<Coefficient> coefficients)
-    : domain_size_(domain_size), coefficients_(std::move(coefficients)) {
-  DWM_CHECK(IsPowerOfTwo(static_cast<uint64_t>(domain_size_)));
-  std::sort(coefficients_.begin(), coefficients_.end(),
+void SortByIndex(std::vector<Coefficient>* coefficients) {
+  std::sort(coefficients->begin(), coefficients->end(),
             [](const Coefficient& a, const Coefficient& b) {
               return a.index < b.index;
             });
-  for (size_t i = 0; i < coefficients_.size(); ++i) {
-    DWM_CHECK_GE(coefficients_[i].index, 0);
-    DWM_CHECK_LT(coefficients_[i].index, domain_size_);
-    if (i > 0) DWM_CHECK_LT(coefficients_[i - 1].index, coefficients_[i].index);
+}
+
+// Validation shared by the trusting constructor (CHECK on failure) and the
+// Create factory (Status on failure). Expects `coefficients` sorted.
+Status ValidateSorted(int64_t domain_size,
+                      const std::vector<Coefficient>& coefficients) {
+  if (domain_size <= 0 ||
+      !IsPowerOfTwo(static_cast<uint64_t>(domain_size))) {
+    return Status::InvalidArgument(
+        "synopsis domain size must be a power of two, got " +
+        std::to_string(domain_size));
   }
+  for (size_t i = 0; i < coefficients.size(); ++i) {
+    const int64_t index = coefficients[i].index;
+    if (index < 0 || index >= domain_size) {
+      return Status::InvalidArgument(
+          "coefficient index " + std::to_string(index) +
+          " outside domain [0, " + std::to_string(domain_size) + ")");
+    }
+    if (i > 0 && coefficients[i - 1].index == index) {
+      return Status::InvalidArgument("duplicate coefficient index " +
+                                     std::to_string(index));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Synopsis::Synopsis(int64_t domain_size, std::vector<Coefficient> coefficients)
+    : domain_size_(domain_size), coefficients_(std::move(coefficients)) {
+  SortByIndex(&coefficients_);
+  const Status valid = ValidateSorted(domain_size_, coefficients_);
+  DWM_CHECK(valid.ok());
+}
+
+Status Synopsis::Create(int64_t domain_size,
+                        std::vector<Coefficient> coefficients,
+                        Synopsis* out) {
+  SortByIndex(&coefficients);
+  DWM_RETURN_NOT_OK(ValidateSorted(domain_size, coefficients));
+  out->domain_size_ = domain_size;
+  out->coefficients_ = std::move(coefficients);
+  return Status::OK();
 }
 
 double Synopsis::CoefficientValue(int64_t index) const {
@@ -35,11 +74,56 @@ double Synopsis::CoefficientValue(int64_t index) const {
 double Synopsis::PointEstimate(int64_t leaf) const {
   DWM_CHECK_GE(leaf, 0);
   DWM_CHECK_LT(leaf, domain_size_);
-  double value = 0.0;
-  ForEachPathNode(domain_size_, leaf, [&](int64_t node) {
-    const double c = CoefficientValue(node);
-    if (c != 0.0) value += LeafSign(domain_size_, node, leaf) * c;
-  });
+  if (coefficients_.empty()) return 0.0;
+  // Degenerate one-value domain: the only node is the average c_0.
+  if (domain_size_ == 1) {
+    return coefficients_.front().index == 0 ? coefficients_.front().value : 0.0;
+  }
+  // Collect path_leaf bottom-up with the sign each node contributes (+1 when
+  // the path descends into the node's left child). nodes[] ends up in
+  // descending index order; walking it backwards visits the path top-down,
+  // i.e. in ascending index order.
+  int64_t nodes[64];
+  int signs[64];
+  int len = 0;
+  int64_t node = LeafParent(domain_size_, leaf);
+  nodes[len] = node;
+  signs[len] = ((domain_size_ + leaf) & 1) != 0 ? -1 : +1;
+  ++len;
+  while (node > 1) {
+    const int64_t child = node;
+    node >>= 1;
+    nodes[len] = node;
+    signs[len] = (child & 1) != 0 ? -1 : +1;
+    ++len;
+  }
+  // One merged walk: path indices ascend (0, 1, ..., LeafParent), and the
+  // coefficient array is sorted by index, so a single cursor gallops forward
+  // instead of re-running lower_bound over the whole array per node.
+  const Coefficient* cursor = coefficients_.data();
+  const Coefficient* const end = cursor + coefficients_.size();
+  const auto take = [&](int64_t index) -> double {
+    if (cursor->index < index) {
+      // Gallop to the first coefficient with ->index >= index: doubling
+      // probes bound the target, then a binary search over the last octave
+      // pins it. O(log gap) instead of O(log size) per path node.
+      const Coefficient* base = cursor;
+      size_t step = 1;
+      while (base + step < end && (base + step)->index < index) step <<= 1;
+      const Coefficient* hi = base + step < end ? base + step : end;
+      cursor = std::lower_bound(base + (step >> 1), hi, index,
+                                [](const Coefficient& c, int64_t idx) {
+                                  return c.index < idx;
+                                });
+    }
+    if (cursor != end && cursor->index == index) return cursor->value;
+    return 0.0;
+  };
+  double value = take(int64_t{0});  // the average node c_0 contributes +1
+  for (int i = len - 1; i >= 0 && cursor != end; --i) {
+    const double c = take(nodes[i]);
+    if (c != 0.0) value += signs[i] * c;
+  }
   return value;
 }
 
@@ -99,6 +183,14 @@ std::vector<double> Synopsis::Reconstruct() const {
 
 std::vector<double> Synopsis::ReconstructRange(int64_t first,
                                                int64_t count) const {
+  // count == 0 is an explicitly supported empty slice (a worker can be
+  // assigned zero leaves), not an accident of the power-of-two check below:
+  // IsPowerOfTwo(0) is false, so without this branch it would CHECK-abort.
+  if (count == 0) {
+    DWM_CHECK_GE(first, 0);
+    DWM_CHECK_LE(first, domain_size_);
+    return {};
+  }
   if (count == domain_size_) {
     DWM_CHECK_EQ(first, 0);
     return Reconstruct();

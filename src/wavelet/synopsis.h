@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.h"
+
 namespace dwm {
 
 struct Coefficient {
@@ -22,9 +24,20 @@ struct Coefficient {
 class Synopsis {
  public:
   Synopsis() = default;
-  // Takes coefficients in any order; sorts by index. Duplicate indices are
-  // a programming error.
+  // Takes coefficients in any order; sorts by index. A non-power-of-two
+  // domain, out-of-range indices or duplicate indices are programming
+  // errors (CHECK-abort) on this path: algorithm output feeds it directly.
+  // Data-driven input (files, network) must go through Create instead.
   Synopsis(int64_t domain_size, std::vector<Coefficient> coefficients);
+
+  // Validating factory for untrusted input: sorts `coefficients`, rejects a
+  // non-power-of-two `domain_size`, out-of-range indices and duplicate
+  // indices with Status::InvalidArgument (leaving *out untouched), and
+  // fills *out on success. This is what the serve-side loader uses so a
+  // corrupt synopsis file can never abort a serving process.
+  [[nodiscard]] static Status Create(int64_t domain_size,
+                                     std::vector<Coefficient> coefficients,
+                                     Synopsis* out);
 
   int64_t domain_size() const { return domain_size_; }
   int64_t size() const { return static_cast<int64_t>(coefficients_.size()); }
@@ -34,11 +47,15 @@ class Synopsis {
   double CoefficientValue(int64_t index) const;
 
   // Reconstructed value d_hat_j: sums the <= log n + 1 retained coefficients
-  // on path_j (Section 2.2).
+  // on path_j (Section 2.2). Implemented as one merged walk over the sorted
+  // coefficient array (path indices ascend root-to-leaf, so a galloping
+  // cursor never restarts the binary search per node) — this is the serving
+  // hot path.
   double PointEstimate(int64_t leaf) const;
 
   // Range sum d(lo:hi), inclusive on both ends, using only coefficients on
-  // path_lo and path_hi (Section 2.2).
+  // path_lo and path_hi (Section 2.2). lo == hi and the full domain
+  // [0, n-1] are both valid ranges.
   double RangeSum(int64_t lo, int64_t hi) const;
 
   // Dense coefficient array (zeros for dropped coefficients).
@@ -49,9 +66,11 @@ class Synopsis {
   std::vector<double> Reconstruct() const;
 
   // Reconstruction of the aligned slice [first, first + count): `count` must
-  // be a power of two and `first` a multiple of it (the slice is a subtree's
-  // leaf range). O(count + log n + size-in-slice) — this is what a
-  // distributed worker uses to evaluate its local partition.
+  // be zero (an empty slice; returns an empty vector) or a power of two with
+  // `first` a multiple of it (the slice is a subtree's leaf range).
+  // O(count + log n + size-in-slice) — this is what a distributed worker
+  // uses to evaluate its local partition and what the serve-side cache
+  // materializes per hot subtree.
   std::vector<double> ReconstructRange(int64_t first, int64_t count) const;
 
  private:

@@ -162,5 +162,72 @@ TEST(SynopsisReconstructRangeTest, EmptySynopsis) {
   for (double v : s.ReconstructRange(8, 8)) EXPECT_DOUBLE_EQ(v, 0.0);
 }
 
+TEST(SynopsisReconstructRangeTest, ZeroCountIsEmptySlice) {
+  // A worker can be assigned zero leaves; count == 0 must return an empty
+  // vector (not trip the power-of-two check) at any aligned position,
+  // including one-past-the-end.
+  const Synopsis s(32, {{0, 7.0}, {3, -2.0}});
+  for (int64_t first : {int64_t{0}, int64_t{8}, int64_t{31}, int64_t{32}}) {
+    EXPECT_TRUE(s.ReconstructRange(first, 0).empty()) << "first=" << first;
+  }
+}
+
+TEST(SynopsisEdgeCaseTest, SingleValueDomain) {
+  // domain_size == 1: the only coefficient is the average c_0, every query
+  // degenerates to it.
+  const Synopsis s(1, {{0, 42.0}});
+  EXPECT_DOUBLE_EQ(s.PointEstimate(0), 42.0);
+  EXPECT_DOUBLE_EQ(s.RangeSum(0, 0), 42.0);
+  EXPECT_EQ(s.Reconstruct(), std::vector<double>({42.0}));
+  const Synopsis empty(1, {});
+  EXPECT_DOUBLE_EQ(empty.PointEstimate(0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.RangeSum(0, 0), 0.0);
+}
+
+TEST(SynopsisEdgeCaseTest, SingleLeafAndFullDomainRanges) {
+  const Synopsis full = FullSynopsis(kPaperCoeffs);
+  // lo == hi is a valid range and equals the point estimate.
+  for (int64_t j = 0; j < 8; ++j) {
+    EXPECT_DOUBLE_EQ(full.RangeSum(j, j), full.PointEstimate(j)) << j;
+  }
+  // The full domain [0, n-1]: every detail coefficient cancels, leaving
+  // n * c_0.
+  EXPECT_DOUBLE_EQ(full.RangeSum(0, 7), 8.0 * kPaperCoeffs[0]);
+}
+
+TEST(SynopsisCreateTest, AcceptsValidCoefficients) {
+  Synopsis s;
+  ASSERT_TRUE(Synopsis::Create(8, {{5, 1.0}, {2, 2.0}, {7, 3.0}}, &s).ok());
+  EXPECT_EQ(s.domain_size(), 8);
+  EXPECT_EQ(s.size(), 3);
+  // Sorted on the way in, like the constructor.
+  EXPECT_EQ(s.coefficients()[0].index, 2);
+  EXPECT_EQ(s.coefficients()[2].index, 7);
+}
+
+TEST(SynopsisCreateTest, RejectsDuplicateIndex) {
+  Synopsis s(4, {{1, 5.0}});
+  const Status status = Synopsis::Create(8, {{3, 1.0}, {3, 2.0}}, &s);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  // *out untouched on failure.
+  EXPECT_EQ(s.domain_size(), 4);
+  EXPECT_EQ(s.size(), 1);
+}
+
+TEST(SynopsisCreateTest, RejectsOutOfRangeIndex) {
+  Synopsis s;
+  EXPECT_EQ(Synopsis::Create(8, {{8, 1.0}}, &s).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Synopsis::Create(8, {{-1, 1.0}}, &s).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SynopsisCreateTest, RejectsBadDomain) {
+  Synopsis s;
+  EXPECT_EQ(Synopsis::Create(0, {}, &s).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Synopsis::Create(-8, {}, &s).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Synopsis::Create(12, {}, &s).code(), StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace dwm

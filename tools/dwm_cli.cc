@@ -17,13 +17,34 @@
 //   dwm_cli point --synopsis synopsis.dwm --index I
 //   dwm_cli sum   --synopsis synopsis.dwm --from A --to B
 //   dwm_cli eval  --synopsis synopsis.dwm --input data.bin [--sanity S]
+//   dwm_cli pack  --synopsis synopsis.dwm [--dataset D] [--algo A]
+//                 [--budget B] --output synopsis.dwms
+//   dwm_cli query --synopsis synopsis.dwm[s] (--queries FILE|- |
+//                 --type point|sum|avg --from A [--to B])
+//   dwm_cli serve --synopsis file[,file...]   (query protocol on stdin)
+//
+// `pack` wraps a synopsis in the versioned, checksummed serve format
+// (src/serve/format.h) with provenance; `query` answers a one-shot batch
+// through the serving engine; `serve` is the long-running loop reading one
+// command per line from stdin:
+//   point I | sum A B | avg A B   answer against the current shard
+//   batch K                       answer the next K query lines as a batch
+//   use DATASET ALGO BUDGET       switch the current shard
+//   shards                        list registered shards
+//   stats                         print cache hit/miss/eviction counters
+//   quit                          exit
+// Serve output is deterministic for a fixed script (the serve determinism
+// gate pipes the same script at DWM_THREADS=1 and 8 and byte-compares).
 //
 // Inputs whose size is not a power of two are padded by repeating the last
 // value (see PadToPowerOfTwo).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -47,6 +68,8 @@
 #include "mr/cluster.h"
 #include "mr/faults.h"
 #include "mr/trace.h"
+#include "serve/engine.h"
+#include "serve/format.h"
 #include "wavelet/haar.h"
 #include "wavelet/metrics.h"
 
@@ -497,9 +520,237 @@ int CmdEval(const Flags& flags) {
   return 0;
 }
 
+std::string BaseName(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+// Parses one protocol line ("point I", "sum A B", "avg A B"); false on
+// anything else, including trailing junk.
+bool ParseQueryLine(const std::string& line, dwm::serve::Query* query) {
+  std::istringstream ss(line);
+  std::string op;
+  if (!(ss >> op)) return false;
+  if (op == "point") {
+    query->type = dwm::serve::QueryType::kPoint;
+    if (!(ss >> query->lo)) return false;
+    query->hi = query->lo;
+  } else if (op == "sum" || op == "avg") {
+    query->type = op == "sum" ? dwm::serve::QueryType::kRangeSum
+                              : dwm::serve::QueryType::kRangeAvg;
+    if (!(ss >> query->lo >> query->hi)) return false;
+  } else {
+    return false;
+  }
+  std::string rest;
+  return !(ss >> rest);
+}
+
+// Splits a comma-separated --synopsis list; empty segments are rejected by
+// the loader's IOError.
+std::vector<std::string> SplitPaths(const std::string& list) {
+  std::vector<std::string> paths;
+  size_t start = 0;
+  while (start <= list.size()) {
+    const size_t comma = list.find(',', start);
+    if (comma == std::string::npos) {
+      paths.push_back(list.substr(start));
+      break;
+    }
+    paths.push_back(list.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return paths;
+}
+
+// Registers `path` with a filename-derived fallback key (used when the
+// file is a legacy synopsis with no provenance of its own).
+dwm::Status RegisterPath(dwm::serve::QueryEngine& engine,
+                         const std::string& path) {
+  dwm::serve::ShardKey fallback;
+  fallback.dataset = BaseName(path);
+  fallback.algo = "synopsis";
+  return engine.registry().RegisterFile(path, fallback);
+}
+
+int CmdPack(const Flags& flags) {
+  dwm::serve::SynopsisFrame frame;
+  const dwm::Status loaded =
+      dwm::serve::LoadServableSynopsis(Require(flags, "synopsis"), &frame);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.ToString().c_str());
+    return 1;
+  }
+  frame.dataset = Optional(flags, "dataset", frame.dataset);
+  frame.algo = Optional(flags, "algo", frame.algo);
+  frame.budget = std::atoll(
+      Optional(flags, "budget", std::to_string(frame.budget)).c_str());
+  const std::string output = Require(flags, "output");
+  const dwm::Status saved = dwm::serve::SaveSynopsisFrame(output, frame);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("packed %lld coefficients over %lld values into %s "
+              "(dataset '%s', algo '%s', B=%lld)\n",
+              static_cast<long long>(frame.synopsis.size()),
+              static_cast<long long>(frame.synopsis.domain_size()),
+              output.c_str(), frame.dataset.c_str(), frame.algo.c_str(),
+              static_cast<long long>(frame.budget));
+  return 0;
+}
+
+int CmdQuery(const Flags& flags) {
+  dwm::serve::QueryEngine engine;
+  const dwm::Status loaded =
+      RegisterPath(engine, Require(flags, "synopsis"));
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.ToString().c_str());
+    return 1;
+  }
+  const dwm::serve::ShardKey key = engine.registry().Keys().front();
+
+  std::vector<dwm::serve::Query> queries;
+  if (flags.count("queries") != 0) {
+    const std::string path = flags.at("queries");
+    std::ifstream file;
+    if (path != "-") {
+      file.open(path);
+      if (!file) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        return 1;
+      }
+    }
+    std::istream& in = path == "-" ? std::cin : file;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      dwm::serve::Query query;
+      if (!ParseQueryLine(line, &query)) {
+        std::fprintf(stderr, "bad query line: %s\n", line.c_str());
+        return 2;
+      }
+      queries.push_back(query);
+    }
+  } else {
+    dwm::serve::Query query;
+    const std::string type = Optional(flags, "type", "point");
+    const std::string from = Require(flags, "from");
+    const std::string line =
+        type == "point" ? type + " " + from
+                        : type + " " + from + " " + Require(flags, "to");
+    if (!ParseQueryLine(line, &query)) {
+      std::fprintf(stderr, "bad query: %s\n", line.c_str());
+      return 2;
+    }
+    queries.push_back(query);
+  }
+
+  std::vector<double> results;
+  const dwm::Status answered = engine.AnswerBatch(key, queries, &results);
+  if (!answered.ok()) {
+    std::fprintf(stderr, "%s\n", answered.ToString().c_str());
+    return 1;
+  }
+  for (const double r : results) std::printf("%.10g\n", r);
+  return 0;
+}
+
+int CmdServe(const Flags& flags) {
+  dwm::serve::QueryEngine engine;
+  for (const std::string& path : SplitPaths(Require(flags, "synopsis"))) {
+    const dwm::Status loaded = RegisterPath(engine, path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.ToString().c_str());
+      return 1;
+    }
+  }
+  const auto print_shards = [&] {
+    for (const dwm::serve::ShardKey& key : engine.registry().Keys()) {
+      const dwm::serve::Shard* shard = engine.registry().Find(key);
+      std::printf("shard %s %s %lld domain=%lld coefficients=%lld\n",
+                  key.dataset.c_str(), key.algo.c_str(),
+                  static_cast<long long>(key.budget),
+                  static_cast<long long>(shard->synopsis.domain_size()),
+                  static_cast<long long>(shard->synopsis.size()));
+    }
+  };
+  print_shards();
+  dwm::serve::ShardKey current = engine.registry().Keys().front();
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    std::string op;
+    ss >> op;
+    if (op == "quit") break;
+    if (op == "shards") {
+      print_shards();
+      continue;
+    }
+    if (op == "stats") {
+      const dwm::serve::SubtreeCache::Stats stats = engine.CacheStats();
+      std::printf("stats hits=%llu misses=%llu evictions=%llu entries=%llu "
+                  "bytes=%llu\n",
+                  static_cast<unsigned long long>(stats.hits),
+                  static_cast<unsigned long long>(stats.misses),
+                  static_cast<unsigned long long>(stats.evictions),
+                  static_cast<unsigned long long>(stats.entries),
+                  static_cast<unsigned long long>(stats.bytes));
+      continue;
+    }
+    if (op == "use") {
+      dwm::serve::ShardKey key;
+      if (!(ss >> key.dataset >> key.algo >> key.budget) ||
+          engine.registry().Find(key) == nullptr) {
+        std::printf("error: no such shard: %s\n", line.c_str());
+        continue;
+      }
+      current = std::move(key);
+      continue;
+    }
+    std::vector<dwm::serve::Query> batch;
+    if (op == "batch") {
+      int64_t k = 0;
+      if (!(ss >> k) || k < 0) {
+        std::printf("error: bad batch count: %s\n", line.c_str());
+        continue;
+      }
+      bool bad = false;
+      for (int64_t i = 0; i < k && std::getline(std::cin, line); ++i) {
+        dwm::serve::Query query;
+        if (!ParseQueryLine(line, &query)) {
+          std::printf("error: bad query line: %s\n", line.c_str());
+          bad = true;
+          break;
+        }
+        batch.push_back(query);
+      }
+      if (bad) continue;
+    } else {
+      dwm::serve::Query query;
+      if (!ParseQueryLine(line, &query)) {
+        std::printf("error: bad command: %s\n", line.c_str());
+        continue;
+      }
+      batch.push_back(query);
+    }
+    std::vector<double> results;
+    const dwm::Status answered = engine.AnswerBatch(current, batch, &results);
+    if (!answered.ok()) {
+      std::printf("error: %s\n", answered.ToString().c_str());
+      continue;
+    }
+    for (const double r : results) std::printf("%.10g\n", r);
+  }
+  return 0;
+}
+
 void Usage() {
   std::fprintf(stderr,
-               "usage: dwm_cli <gen|build|dbuild|info|point|sum|eval> "
+               "usage: dwm_cli "
+               "<gen|build|dbuild|info|point|sum|eval|pack|query|serve> "
                "--flag value "
                "...\n(see the header of tools/dwm_cli.cc)\n");
 }
@@ -520,6 +771,9 @@ int main(int argc, char** argv) {
   if (command == "point") return CmdPoint(flags);
   if (command == "sum") return CmdSum(flags);
   if (command == "eval") return CmdEval(flags);
+  if (command == "pack") return CmdPack(flags);
+  if (command == "query") return CmdQuery(flags);
+  if (command == "serve") return CmdServe(flags);
   Usage();
   return 2;
 }

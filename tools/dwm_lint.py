@@ -36,6 +36,13 @@ Checks (each can be suppressed per line with `// dwm-lint: allow(<rule>)`):
                   frame format may evolve, and a reader must be able to
                   reject a frame written by a different format version
                   before trusting any field in it.
+  serve-format-version
+                  Every serve-format serde struct (any `struct *Frame*`
+                  under src/serve/) carries an explicit `version` member,
+                  and src/serve/format.h defines at least one: the serving
+                  layer loads synopses written by earlier builds, and the
+                  loader can only reject a version-skewed frame if the
+                  struct stores the version it was written with.
   stale-analyze-suppression
                   Every `dwm-analyze: allow(<rule>)` comment names a
                   rule tools/dwm_analyze.py still defines (checked
@@ -406,6 +413,45 @@ def check_checkpoint_version(findings, root):
                      "rule covers it")
 
 
+SERVE_FRAME_STRUCT_RE = re.compile(
+    r"\bstruct\s+(\w*Frame\w*)\s*(?:final\s*)?(?::[^{;]*)?\{")
+
+
+def check_serve_format_version(findings, root):
+    """Every serve-format serde struct must carry an explicit `version`
+    member: LoadSynopsisFrame rejects frames whose version differs from
+    kSynopsisFormatVersion before trusting any other field, and that gate
+    only exists if the struct stores the version it was written with. The
+    canonical frame lives in src/serve/format.h; the check also fails if
+    that header stops defining one (a renamed frame must not silently
+    escape the rule)."""
+    canonical_rel = os.path.join("src", "serve", "format.h")
+    serve_prefix = os.path.join("src", "serve") + os.sep
+    canonical_structs = 0
+    for rel_path in iter_sources(root):
+        if not rel_path.startswith(serve_prefix):
+            continue
+        with open(os.path.join(root, rel_path), encoding="utf-8") as f:
+            code = strip_comments_and_strings(f.read())
+        for match in SERVE_FRAME_STRUCT_RE.finditer(code):
+            if rel_path == canonical_rel:
+                canonical_structs += 1
+            body = _matched_braces(code, code.index("{", match.end() - 1))
+            if CHECKPOINT_VERSION_MEMBER_RE.search(body):
+                continue
+            line = code[:match.start()].count("\n") + 1
+            findings.add(rel_path, line, "serve-format-version",
+                         f"struct {match.group(1)} has no `version` member; "
+                         "serve-format serde structs must store the on-disk "
+                         "format version so the loader can reject frames "
+                         "from a different format (see src/serve/format.h)")
+    if canonical_structs == 0:
+        findings.add(canonical_rel, 1, "serve-format-version",
+                     "src/serve/format.h defines no `struct *Frame*`; the "
+                     "synopsis frame must live here so the version rule "
+                     "covers it")
+
+
 def analyze_rule_names(root):
     """The rule registry of tools/dwm_analyze.py (its --list-rules output),
     or None when the analyzer is missing or unrunnable."""
@@ -481,6 +527,7 @@ def main():
     check_trace_phase_spans(findings, root)
     check_dist_quality_metrics(findings, root)
     check_checkpoint_version(findings, root)
+    check_serve_format_version(findings, root)
 
     count = findings.report()
     if count:
