@@ -10,6 +10,10 @@ namespace dwm::internal {
 
 [[noreturn]] inline void CheckFailed(const char* file, int line,
                                      const char* expr) {
+  // The abort path must stay dependency-free: the structured logger sits
+  // above this header (log.cc CHECKs its own invariants), and a failed
+  // invariant must still print if the logger itself is the broken thing.
+  // dwm-lint: allow(no-raw-stderr): last-resort abort path below the logger
   std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
   std::abort();
 }

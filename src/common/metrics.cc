@@ -134,16 +134,20 @@ Histogram::Histogram(std::vector<double> bounds)
   }
 }
 
-void Histogram::Observe(double value) {
+void Histogram::Observe(double value) { ObserveN(value, 1); }
+
+void Histogram::ObserveN(double value, int64_t n) {
+  if (n <= 0) return;
   const size_t bucket =
       static_cast<size_t>(std::lower_bound(bounds_.begin(), bounds_.end(),
                                            value) -
                           bounds_.begin());
   const std::lock_guard<std::mutex> lock(mu_);
-  ++counts_[bucket];
-  sum_ += value;
-  ++count_;
-  if (count_ == 1 || value > max_) max_ = value;
+  counts_[bucket] += n;
+  sum_ += value * static_cast<double>(n);
+  const bool first = count_ == 0;
+  count_ += n;
+  if (first || value > max_) max_ = value;
 }
 
 int64_t Histogram::count() const {

@@ -96,6 +96,11 @@ class Histogram {
   explicit Histogram(std::vector<double> bounds);
 
   void Observe(double value);
+  // Records `n` observations of the same value under one lock: the serve
+  // engine's per-query latency attribution (batch time / batch size) feeds
+  // every query of a batch the same value, and a per-query Observe would
+  // put a mutex acquisition on the hot path. No-op for n <= 0.
+  void ObserveN(double value, int64_t n);
 
   int64_t count() const;
   double sum() const;

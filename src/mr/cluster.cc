@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cstdio>
 #include <cstdlib>
 #include <queue>
 #include <thread>
 
 #include "common/check.h"
+#include "common/log.h"
 
 namespace dwm::mr {
 
@@ -29,10 +29,11 @@ int ResolveWorkerThreads(int worker_threads) {
       // so a typo'd knob is visible; "0" stays the silent explicit-auto.
       static std::atomic<bool> warned{false};
       if (!warned.exchange(true)) {
-        std::fprintf(stderr,
-                     "warning: ignoring malformed DWM_THREADS='%s' "
-                     "(want a positive integer); using auto\n",
-                     env);
+        log::Warn("env_parse_error")
+            .Str("knob", "DWM_THREADS")
+            .Str("value", env)
+            .Str("want", "a positive integer")
+            .Str("action", "using auto");
       }
     }
   }
@@ -51,10 +52,11 @@ int64_t ResolveMaxSkippedBadRecords(int64_t max_skipped_bad_records) {
     if (consumed && parsed >= 0) return static_cast<int64_t>(parsed);
     static std::atomic<bool> warned{false};
     if (!warned.exchange(true)) {
-      std::fprintf(stderr,
-                   "warning: ignoring malformed DWM_SKIP_BAD_RECORDS='%s' "
-                   "(want a non-negative integer); quarantine stays off\n",
-                   env);
+      log::Warn("env_parse_error")
+          .Str("knob", "DWM_SKIP_BAD_RECORDS")
+          .Str("value", env)
+          .Str("want", "a non-negative integer")
+          .Str("action", "quarantine stays off");
     }
   }
   return 0;

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/log.h"
 #include "common/metrics.h"
 #include "mr/cluster.h"
 
@@ -290,8 +291,13 @@ const FaultPlan& EffectiveFaultPlan(const FaultPlan& config_plan) {
     FaultPlan plan;
     const Status st = FaultPlanFromEnv(&plan);
     if (!st.ok()) {
-      std::fprintf(stderr, "warning: ignoring DWM_FAULTS: %s\n",
-                   st.ToString().c_str());
+      const char* env = std::getenv("DWM_FAULTS");
+      log::Warn("env_parse_error")
+          .Str("knob", "DWM_FAULTS")
+          .Str("value", env == nullptr ? "" : env)
+          .Str("want", "a fault plan spec")
+          .Str("error", st.ToString())
+          .Str("action", "fault injection stays off");
       return FaultPlan();
     }
     return plan;

@@ -44,7 +44,6 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
-#include <cstdio>
 #include <cstring>
 #include <functional>
 #include <iterator>
@@ -54,6 +53,7 @@
 
 #include "common/audit.h"
 #include "common/check.h"
+#include "common/log.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
 #include "mr/bytes.h"
@@ -669,8 +669,9 @@ std::vector<Out> RunJob(const JobSpec<Split, K, V, Out>& spec,
   std::vector<Out> output;
   const Status status = RunJobOr(spec, splits, config, &output, stats, counters);
   if (!status.ok()) {
-    std::fprintf(stderr, "RunJob '%s': %s\n", spec.name.c_str(),
-                 status.ToString().c_str());
+    log::Error("job_failed")
+        .Str("job", spec.name)
+        .Str("status", status.ToString());
   }
   // Aborting is this wrapper's documented contract, not a recoverable
   // path: callers that want the Status use RunJobOr.

@@ -1,8 +1,8 @@
 #include "mr/pipeline.h"
 
-#include <cstdio>
 #include <map>
 
+#include "common/log.h"
 #include "common/metrics.h"
 
 namespace dwm::mr {
@@ -109,8 +109,11 @@ bool JobChain::RunStage(const std::string& stage,
     const Status saved = store_.Save(index, stage, payload);
     if (!saved.ok()) {
       // A failed snapshot write degrades resume, not the run itself.
-      std::fprintf(stderr, "warning: %s (stage '%s' will recompute on resume)\n",
-                   saved.ToString().c_str(), stage.c_str());
+      log::Warn("checkpoint_save_failed")
+          .Str("stage", stage)
+          .I64("stage_index", index)
+          .Str("status", saved.ToString())
+          .Str("action", "stage will recompute on resume");
     }
   }
   return true;

@@ -262,7 +262,7 @@ std::string ChromeTraceJson(const Trace& trace,
     const char* name;
   };
   static constexpr Lane kLanes[] = {
-      {0, "pipeline"}, {1, "map slots"}, {2, "reduce slots"}};
+      {0, "pipeline"}, {1, "map slots"}, {2, "reduce slots"}, {3, "serve"}};
   for (const Lane& lane : kLanes) {
     sep();
     out += "{\"ph\":\"M\",\"pid\":" + std::to_string(lane.pid) +
@@ -278,6 +278,8 @@ std::string ChromeTraceJson(const Trace& trace,
       tid = stable ? 0 : std::max(s.slot, 0);
     } else if (s.kind == SpanKind::kPhase) {
       tid = 1;
+    } else if (s.kind == SpanKind::kServe) {
+      pid = 3;
     }
     sep();
     out += "{\"name\":\"";
@@ -309,6 +311,10 @@ std::string ChromeTraceJson(const Trace& trace,
     out += s.node_lost ? "true" : "false";
     out += ",\"speculative\":";
     out += s.speculative ? "true" : "false";
+    if (!s.args_json.empty()) {
+      out += ',';
+      out += s.args_json;
+    }
     out += "}}";
   }
   out += "\n],\n\"displayTimeUnit\":\"ms\",\n\"otherData\":{\"faults\":\"";

@@ -47,6 +47,7 @@ enum class SpanKind {
   kPhase = 1,    // overhead, map, shuffle or reduce slab of one job
   kAttempt = 2,  // one task attempt on its slot
   kDriver = 3,   // named driver-side work between jobs
+  kServe = 4,    // live serve-path request span (serve/trace.h)
 };
 
 struct TraceSpan {
@@ -68,6 +69,10 @@ struct TraceSpan {
   bool failed = false;
   bool node_lost = false;
   bool speculative = false;  // backup copy launched by the scheduler
+  // Extra pre-serialized JSON fields appended verbatim into the span's
+  // "args" object (no leading comma). Producers must only put stable
+  // (non-measured) values here — the stable export keeps args intact.
+  std::string args_json;
 };
 
 struct Trace {

@@ -45,8 +45,9 @@ class SubtreeCache {
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t evictions = 0;
-    uint64_t bytes = 0;    // current charged bytes (payload + overhead)
-    uint64_t entries = 0;  // current entry count
+    uint64_t bytes = 0;      // current charged bytes (payload + overhead)
+    uint64_t entries = 0;    // current entry count
+    uint64_t max_bytes = 0;  // high-water mark of `bytes` over the lifetime
   };
 
   explicit SubtreeCache(uint64_t capacity_bytes)
@@ -86,6 +87,7 @@ class SubtreeCache {
     entries_.push_front(Entry{key, std::move(block), cost});
     index_.emplace(key, entries_.begin());
     stats_.bytes += cost;
+    if (stats_.bytes > stats_.max_bytes) stats_.max_bytes = stats_.bytes;
     ++stats_.entries;
     return &entries_.front().block;
   }

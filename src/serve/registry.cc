@@ -1,15 +1,34 @@
 #include "serve/registry.h"
 
+#include <cmath>
 #include <utility>
+
+#include "common/log.h"
 
 namespace dwm::serve {
 
-uint64_t ShardRegistry::Register(ShardKey key, Synopsis synopsis) {
+uint64_t ShardRegistry::Register(ShardKey key, Synopsis synopsis,
+                                 double error_bound) {
   const uint64_t id = next_id_++;
   Shard& shard = shards_[key];
+  const bool replaced = shard.id != 0;
   shard.key = std::move(key);
   shard.id = id;
   shard.synopsis = std::move(synopsis);
+  shard.error_bound = error_bound;
+  {
+    // Stable event: shard ids and registration order are a pure function
+    // of the load sequence.
+    log::Record r(log::Level::kInfo, "shard_registered");
+    r.Str("dataset", shard.key.dataset)
+        .Str("algo", shard.key.algo)
+        .I64("budget", shard.key.budget)
+        .U64("shard", id)
+        .I64("domain", shard.synopsis.domain_size())
+        .I64("coeffs", shard.synopsis.size())
+        .Bool("replaced", replaced);
+    if (std::isfinite(error_bound)) r.F64("error_bound", error_bound);
+  }
   return id;
 }
 

@@ -7,6 +7,7 @@
 #define DWMAXERR_SERVE_REGISTRY_H_
 
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <string>
 #include <vector>
@@ -29,14 +30,21 @@ struct Shard {
   ShardKey key;
   uint64_t id = 0;  // unique per registration, never reused
   Synopsis synopsis;
+  // Builder-guaranteed maximum absolute error of point reconstructions
+  // (e.g. GreedyAbsResult::max_abs_error); NaN when the producer did not
+  // supply one. Feeds the achieved-vs-bound gauge pair in serve/engine.h.
+  double error_bound = std::numeric_limits<double>::quiet_NaN();
 };
 
 class ShardRegistry {
  public:
   // Registers (or replaces) the shard under `key`. The synopsis must
   // already be validated (Synopsis::Create / LoadServableSynopsis).
-  // Returns the new shard's id.
-  uint64_t Register(ShardKey key, Synopsis synopsis);
+  // `error_bound` is the builder's guaranteed max-abs point error (NaN =
+  // unknown). Returns the new shard's id; every registration logs a
+  // `shard_registered` info record.
+  uint64_t Register(ShardKey key, Synopsis synopsis,
+                    double error_bound = std::numeric_limits<double>::quiet_NaN());
 
   // Loads `path` via LoadServableSynopsis and registers it. Frame
   // provenance fills the key; any field the file does not carry (legacy

@@ -2,8 +2,12 @@
 // (roundtrip, truncation, corruption, version skew, legacy fallback —
 // every malformed file must surface as a Status, never an abort), the
 // byte-capacity subtree LRU, the shard registry's id bumping, and the
-// query engine's batching, validation and cache counters.
+// query engine's batching, validation, cache counters and observability
+// surface (slow-query log, per-type tallies, achieved-vs-bound gauges,
+// env knob parsing).
+#include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -13,6 +17,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/log.h"
 #include "common/metrics.h"
 #include "data/io.h"
 #include "serve/engine.h"
@@ -233,6 +238,18 @@ TEST(SubtreeCacheTest, ReplacingAKeyDoesNotLeakBytes) {
   EXPECT_DOUBLE_EQ((*cache.Get(k))[0], 2.0);
 }
 
+TEST(SubtreeCacheTest, MaxBytesKeepsTheLifetimeHighWaterMark) {
+  SubtreeCache cache(1024);
+  const SubtreeCache::Key k{3, 0};
+  // 16 doubles charge 64 + 128 = 192 bytes; replacing with 8 drops the
+  // occupancy to 128 but the high-water mark must keep the peak.
+  ASSERT_NE(cache.Put(k, std::vector<double>(16, 1.0)), nullptr);
+  EXPECT_EQ(cache.stats().max_bytes, 64u + 16u * sizeof(double));
+  ASSERT_NE(cache.Put(k, std::vector<double>(8, 2.0)), nullptr);
+  EXPECT_EQ(cache.stats().bytes, 64u + 8u * sizeof(double));
+  EXPECT_EQ(cache.stats().max_bytes, 64u + 16u * sizeof(double));
+}
+
 TEST(ShardRegistryTest, RegisterFindAndIdBump) {
   ShardRegistry registry;
   const ShardKey key{"ds", "algo", 16};
@@ -396,6 +413,179 @@ TEST_F(QueryEngineTest, ReRegisteringAShardInvalidatesItsCachedBlocks) {
   EXPECT_DOUBLE_EQ(fresh, replacement.PointEstimate(0));
   EXPECT_EQ(engine.CacheStats().hits, 0u);
   EXPECT_EQ(engine.CacheStats().misses, 2u);
+}
+
+TEST_F(QueryEngineTest, SlowQueryThresholdZeroLogsEveryBatch) {
+  EngineOptions options = SmallCacheOptions(1 << 16);
+  options.slow_query_us = 0;             // every batch crosses the threshold
+  options.slow_query_log_per_second = 0.0;  // no rate limit in the test
+  QueryEngine engine(options);
+  const ShardKey key{"ds", "a", 8};
+  engine.registry().Register(key, TestSynopsis(64, 21));
+  log::ScopedCapture capture;
+  std::vector<double> results;
+  ASSERT_TRUE(engine
+                  .AnswerBatch(key,
+                               {{QueryType::kPoint, 1, 1},
+                                {QueryType::kPoint, 9, 9},
+                                {QueryType::kRangeSum, 0, 7}},
+                               &results)
+                  .ok());
+  const std::string& text = capture.text();
+  EXPECT_NE(text.find("\"event\":\"slow_query\""), std::string::npos);
+  EXPECT_NE(text.find("\"queries\":3"), std::string::npos);
+  EXPECT_NE(text.find("\"points\":2"), std::string::npos);
+  EXPECT_NE(text.find("\"blocks\":\"0,8\""), std::string::npos);
+  // Wall-clock-triggered, so the whole line must carry the volatile marker
+  // and vanish from the stable projection.
+  EXPECT_NE(text.find("\"stable\":false"), std::string::npos);
+  EXPECT_EQ(log::StableProjection(text).find("slow_query"),
+            std::string::npos);
+}
+
+TEST_F(QueryEngineTest, SlowQueryLogDisabledByDefault) {
+  QueryEngine engine(SmallCacheOptions(1 << 16));  // slow_query_us = -1
+  const ShardKey key{"ds", "a", 8};
+  engine.registry().Register(key, TestSynopsis(64, 22));
+  log::ScopedCapture capture;
+  std::vector<double> results;
+  ASSERT_TRUE(
+      engine.AnswerBatch(key, {{QueryType::kPoint, 0, 0}}, &results).ok());
+  EXPECT_EQ(capture.text().find("slow_query"), std::string::npos);
+}
+
+TEST_F(QueryEngineTest, RejectionsEmitStructuredWarnings) {
+  QueryEngine engine(SmallCacheOptions(1 << 16));
+  const ShardKey key{"ds", "a", 8};
+  engine.registry().Register(key, TestSynopsis(64, 23));
+  log::ScopedCapture capture;
+  std::vector<double> results;
+  EXPECT_FALSE(engine
+                   .AnswerBatch({"no", "no", 0}, {{QueryType::kPoint, 0, 0}},
+                                &results)
+                   .ok());
+  EXPECT_FALSE(
+      engine.AnswerBatch(key, {{QueryType::kPoint, 64, 64}}, &results).ok());
+  const std::string& text = capture.text();
+  EXPECT_NE(text.find("\"reason\":\"unknown_shard\""), std::string::npos);
+  EXPECT_NE(text.find("\"reason\":\"out_of_range\""), std::string::npos);
+}
+
+TEST_F(QueryEngineTest, CountsQueriesByTypeAndRequests) {
+  QueryEngine engine(SmallCacheOptions(1 << 16));
+  const ShardKey key{"ds", "a", 8};
+  engine.registry().Register(key, TestSynopsis(64, 24));
+  std::vector<double> results;
+  ASSERT_TRUE(engine
+                  .AnswerBatch(key,
+                               {{QueryType::kPoint, 0, 0},
+                                {QueryType::kPoint, 1, 1},
+                                {QueryType::kRangeSum, 0, 7},
+                                {QueryType::kRangeAvg, 0, 3}},
+                               &results)
+                  .ok());
+  // A rejected batch consumes a request id but tallies no queries.
+  EXPECT_FALSE(engine
+                   .AnswerBatch({"no", "no", 0}, {{QueryType::kPoint, 0, 0}},
+                                &results)
+                   .ok());
+  const QueryEngine::TypeCounts counts = engine.QueryCounts();
+  EXPECT_EQ(counts.points, 2);
+  EXPECT_EQ(counts.range_sums, 1);
+  EXPECT_EQ(counts.range_avgs, 1);
+  EXPECT_EQ(engine.Requests(), 2u);
+  EXPECT_EQ(registry_
+                .GetCounter("dwm_serve_queries_by_type_total", "",
+                            {{"type", "point"}}, metrics::Stability::kStable)
+                ->value(),
+            2);
+  EXPECT_EQ(registry_
+                .GetCounter("dwm_serve_queries_by_type_total", "",
+                            {{"type", "range_avg"}},
+                            metrics::Stability::kStable)
+                ->value(),
+            1);
+}
+
+TEST_F(QueryEngineTest, AchievedErrorGaugeKeepsTheMaxNextToTheBound) {
+  QueryEngine engine(SmallCacheOptions(1 << 16));
+  const ShardKey key{"ds", "a", 8};
+  engine.registry().Register(key, TestSynopsis(64, 25), 10.0);
+  engine.ObserveAchievedError(key, 2.5);
+  engine.ObserveAchievedError(key, 1.0);            // below the max: kept out
+  engine.ObserveAchievedError(key, std::nan(""));   // ignored
+  engine.ObserveAchievedError({"no", "no", 0}, 99.0);  // unknown key: ignored
+  const metrics::Labels labels = {
+      {"dataset", "ds"}, {"algo", "a"}, {"budget", "8"}};
+  EXPECT_DOUBLE_EQ(registry_
+                       .GetGauge("dwm_serve_achieved_error", "", labels,
+                                 metrics::Stability::kStable)
+                       ->value(),
+                   2.5);
+  EXPECT_DOUBLE_EQ(registry_
+                       .GetGauge("dwm_serve_error_bound", "", labels,
+                                 metrics::Stability::kStable)
+                       ->value(),
+                   10.0);
+}
+
+TEST_F(QueryEngineTest, BlockLeavesEnvOverrideParsesStrictly) {
+  ASSERT_EQ(setenv("DWM_SERVE_BLOCK_LEAVES", "64", 1), 0);
+  EXPECT_EQ(EngineOptions::FromEnv().block_leaves, 64);
+  log::ScopedCapture capture;
+  // Not a power of two: keep the default and warn once per process (the
+  // later malformed value exercises the warn-once path silently).
+  ASSERT_EQ(setenv("DWM_SERVE_BLOCK_LEAVES", "48", 1), 0);
+  EXPECT_EQ(EngineOptions::FromEnv().block_leaves, 256);
+  ASSERT_EQ(setenv("DWM_SERVE_BLOCK_LEAVES", "64kb", 1), 0);
+  EXPECT_EQ(EngineOptions::FromEnv().block_leaves, 256);
+  ASSERT_EQ(unsetenv("DWM_SERVE_BLOCK_LEAVES"), 0);
+  EXPECT_EQ(EngineOptions::FromEnv().block_leaves, 256);
+  const std::string& text = capture.text();
+  EXPECT_NE(text.find("\"event\":\"env_parse_error\""), std::string::npos);
+  EXPECT_NE(text.find("DWM_SERVE_BLOCK_LEAVES"), std::string::npos);
+}
+
+TEST_F(QueryEngineTest, SlowQueryEnvOverrideParsesStrictly) {
+  ASSERT_EQ(setenv("DWM_SLOW_QUERY_US", "250", 1), 0);
+  EXPECT_EQ(EngineOptions::FromEnv().slow_query_us, 250);
+  ASSERT_EQ(setenv("DWM_SLOW_QUERY_US", "0", 1), 0);
+  EXPECT_EQ(EngineOptions::FromEnv().slow_query_us, 0);
+  ASSERT_EQ(setenv("DWM_SLOW_QUERY_US", "-5", 1), 0);
+  EXPECT_EQ(EngineOptions::FromEnv().slow_query_us, -1);  // default: disabled
+  ASSERT_EQ(unsetenv("DWM_SLOW_QUERY_US"), 0);
+  EXPECT_EQ(EngineOptions::FromEnv().slow_query_us, -1);
+}
+
+TEST_F(QueryEngineTest, TracerRecordsOneSpanTreePerRequest) {
+  QueryEngine engine(SmallCacheOptions(1 << 16));
+  const ShardKey key{"ds", "a", 8};
+  engine.registry().Register(key, TestSynopsis(64, 26));
+  engine.tracer().Enable();
+  std::vector<double> results;
+  ASSERT_TRUE(engine
+                  .AnswerBatch(key,
+                               {{QueryType::kPoint, 0, 0},
+                                {QueryType::kRangeSum, 0, 7}},
+                               &results)
+                  .ok());
+  ASSERT_TRUE(
+      engine.AnswerBatch(key, {{QueryType::kPoint, 1, 1}}, &results).ok());
+  engine.tracer().Disable();
+  // Disabled collector: no further requests recorded.
+  ASSERT_TRUE(
+      engine.AnswerBatch(key, {{QueryType::kPoint, 2, 2}}, &results).ok());
+  EXPECT_EQ(engine.tracer().size(), 2u);
+  const mr::Trace trace = engine.tracer().Snapshot();
+  int roots = 0;
+  int reconstructs = 0;
+  for (const mr::TraceSpan& span : trace.spans) {
+    EXPECT_EQ(span.kind, mr::SpanKind::kServe);
+    if (span.args_json.find("\"queries\"") != std::string::npos) ++roots;
+    if (span.name.find("/reconstruct@") != std::string::npos) ++reconstructs;
+  }
+  EXPECT_EQ(roots, 2);
+  EXPECT_EQ(reconstructs, 1);  // block 0 misses once, then hits
 }
 
 }  // namespace

@@ -31,13 +31,23 @@
 //   batch K                       answer the next K query lines as a batch
 //   use DATASET ALGO BUDGET       switch the current shard
 //   shards                        list registered shards
-//   stats                         print cache hit/miss/eviction counters
+//   stats                         cache counters (incl. byte high-water
+//                                 mark), per-type query counts, request id
+//   metrics                       Prometheus scrape, ends with "end metrics"
+//   loglevel debug|info|warn|error  runtime log-level change
+//   trace on FILE | trace off     collect request spans; off (or quit/EOF)
+//                                 writes the Chrome trace to FILE
 //   quit                          exit
 // Serve output is deterministic for a fixed script (the serve determinism
-// gate pipes the same script at DWM_THREADS=1 and 8 and byte-compares).
+// gate pipes the same script at DWM_THREADS=1 and 8 and byte-compares;
+// `metrics` and `trace` output is measured, so scripted determinism runs
+// must not diff those).
 //
 // Inputs whose size is not a power of two are padded by repeating the last
 // value (see PadToPowerOfTwo).
+//
+// dwm-lint: allow-file(no-raw-stderr): interactive CLI; usage and error
+// reporting go to the terminal's stderr by design, not the structured log.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -49,6 +59,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/log.h"
 #include "common/metrics.h"
 #include "core/conventional.h"
 #include "core/greedy_abs.h"
@@ -678,6 +689,22 @@ int CmdServe(const Flags& flags) {
   print_shards();
   dwm::serve::ShardKey current = engine.registry().Keys().front();
 
+  // `trace on <file>` starts collecting request spans; `trace off` (and
+  // quit/EOF while tracing) writes the Chrome trace to the remembered path.
+  std::string trace_path;
+  const auto flush_trace = [&] {
+    if (trace_path.empty()) return;
+    const dwm::Status written = engine.tracer().WriteChromeTrace(trace_path);
+    if (!written.ok()) {
+      std::printf("error: %s\n", written.ToString().c_str());
+    } else {
+      std::printf("trace written %s requests=%llu\n", trace_path.c_str(),
+                  static_cast<unsigned long long>(engine.tracer().size()));
+    }
+    engine.tracer().Disable();
+    trace_path.clear();
+  };
+
   std::string line;
   while (std::getline(std::cin, line)) {
     if (line.empty() || line[0] == '#') continue;
@@ -691,13 +718,65 @@ int CmdServe(const Flags& flags) {
     }
     if (op == "stats") {
       const dwm::serve::SubtreeCache::Stats stats = engine.CacheStats();
+      const dwm::serve::QueryEngine::TypeCounts counts = engine.QueryCounts();
       std::printf("stats hits=%llu misses=%llu evictions=%llu entries=%llu "
-                  "bytes=%llu\n",
+                  "bytes=%llu max_bytes=%llu points=%lld range_sums=%lld "
+                  "range_avgs=%lld requests=%llu\n",
                   static_cast<unsigned long long>(stats.hits),
                   static_cast<unsigned long long>(stats.misses),
                   static_cast<unsigned long long>(stats.evictions),
                   static_cast<unsigned long long>(stats.entries),
-                  static_cast<unsigned long long>(stats.bytes));
+                  static_cast<unsigned long long>(stats.bytes),
+                  static_cast<unsigned long long>(stats.max_bytes),
+                  static_cast<long long>(counts.points),
+                  static_cast<long long>(counts.range_sums),
+                  static_cast<long long>(counts.range_avgs),
+                  static_cast<unsigned long long>(engine.Requests()));
+      continue;
+    }
+    if (op == "metrics") {
+      // On-demand Prometheus scrape; "end metrics" terminates the block so
+      // a driving process can read a bounded response.
+      std::fputs(dwm::metrics::Default().PrometheusText().c_str(), stdout);
+      std::printf("end metrics\n");
+      continue;
+    }
+    if (op == "loglevel") {
+      std::string name;
+      dwm::log::Level level = dwm::log::Level::kInfo;
+      if (!(ss >> name) || !dwm::log::ParseLevel(name, &level)) {
+        std::printf("error: bad level (want debug|info|warn|error): %s\n",
+                    line.c_str());
+        continue;
+      }
+      dwm::log::Logger::Global().SetLevel(level);
+      std::printf("loglevel %s\n", dwm::log::LevelName(level));
+      continue;
+    }
+    if (op == "trace") {
+      std::string mode;
+      ss >> mode;
+      if (mode == "on") {
+        std::string path;
+        if (!(ss >> path)) {
+          std::printf("error: trace on needs a file: %s\n", line.c_str());
+          continue;
+        }
+        flush_trace();  // an already-running trace is finalized first
+        engine.tracer().Clear();
+        engine.tracer().Enable();
+        trace_path = std::move(path);
+        std::printf("trace on %s\n", trace_path.c_str());
+      } else if (mode == "off") {
+        if (trace_path.empty()) {
+          std::printf("error: trace is not on\n");
+        } else {
+          flush_trace();
+        }
+      } else {
+        std::printf("error: bad trace command (want on <file>|off): %s\n",
+                    line.c_str());
+      }
       continue;
     }
     if (op == "use") {
@@ -744,6 +823,7 @@ int CmdServe(const Flags& flags) {
     }
     for (const double r : results) std::printf("%.10g\n", r);
   }
+  flush_trace();
   return 0;
 }
 

@@ -49,9 +49,19 @@ Checks (each can be suppressed per line with `// dwm-lint: allow(<rule>)`):
                   against its --list-rules output): a suppression for
                   a renamed or deleted rule is dead weight that would
                   silently stop suppressing if the rule came back.
+  no-raw-stderr   Under src/ and tools/, no bare fprintf/fputs to
+                  stderr: diagnostics go through the structured logger
+                  (common/log.h) so they carry levels, fields and the
+                  determinism contract. Interactive CLIs whose stderr
+                  IS the user interface suppress the whole file with
+                  `// dwm-lint: allow-file(no-raw-stderr): <reason>`;
+                  bench/ harnesses are out of scope by design. The
+                  allow comment may sit on the flagged line or the
+                  line above it (multi-line printf argument lists).
 
 Exit status is non-zero iff any finding is reported, so the tool can run as
-a ctest test and as a CI job.
+a ctest test and as a CI job. `allow-file(<rule>): <reason>` anywhere in a
+file suppresses that rule for the whole file; the reason is mandatory.
 """
 
 import argparse
@@ -65,6 +75,8 @@ SOURCE_DIRS = ("src", "tests", "bench", "examples", "tools")
 BANNED_FUNCTIONS = ("rand", "atoi", "strcpy")
 
 ALLOW_RE = re.compile(r"//\s*dwm-lint:\s*allow\(([a-z-]+)\)")
+# File-level suppression; the trailing \S makes the reason mandatory.
+ALLOW_FILE_RE = re.compile(r"//\s*dwm-lint:\s*allow-file\(([a-z-]+)\):\s*\S")
 ANALYZE_ALLOW_RE = re.compile(r"//\s*dwm-analyze:\s*allow\(([A-Za-z0-9_-]+)\)")
 
 
@@ -204,6 +216,33 @@ def check_banned_functions(findings, rel_path, raw_lines, code_lines):
         findings.add(rel_path, idx, "banned-function",
                      f"call to banned function '{hit.group(1)}' "
                      "(use Rng / strtol / memcpy+length instead)")
+
+
+# fprintf takes stderr first, fputs takes it last; both keep the stream on
+# the call's opening line in practice, so a single-line scan suffices.
+RAW_STDERR_RE = re.compile(r"\b(?:fprintf|fputs)\s*\([^)\n]*\bstderr\b")
+
+
+def check_no_raw_stderr(findings, rel_path, raw_lines, code_lines,
+                        file_allowed):
+    if rel_path.split(os.sep)[0] not in ("src", "tools"):
+        return
+    if "no-raw-stderr" in file_allowed:
+        return
+    for idx, code in enumerate(code_lines, start=1):
+        if not RAW_STDERR_RE.search(code):
+            continue
+        # The allow comment may sit on the flagged line or the line above
+        # (printf argument lists often leave no room on the call line).
+        allowed = allowed_rules(raw_lines[idx - 1])
+        if idx >= 2:
+            allowed |= allowed_rules(raw_lines[idx - 2])
+        if "no-raw-stderr" in allowed:
+            continue
+        findings.add(rel_path, idx, "no-raw-stderr",
+                     "bare fprintf/fputs to stderr; route diagnostics "
+                     "through the structured logger (common/log.h) or "
+                     "suppress with a reasoned allow comment")
 
 
 # Tokens that mark a DWM_CHECK condition as config-/fault-driven — i.e.
@@ -514,12 +553,15 @@ def main():
             text = f.read()
         raw_lines = text.splitlines()
         code_lines = strip_comments_and_strings(text).splitlines()
+        file_allowed = set(ALLOW_FILE_RE.findall(text))
         if rel_path.endswith(".h"):
             check_include_guard(findings, rel_path, raw_lines)
             check_using_namespace(findings, rel_path, raw_lines, code_lines)
         if rel_path.startswith("src") and rel_path.endswith(".h"):
             check_no_float(findings, rel_path, raw_lines, code_lines)
         check_banned_functions(findings, rel_path, raw_lines, code_lines)
+        check_no_raw_stderr(findings, rel_path, raw_lines, code_lines,
+                            file_allowed)
         check_mr_recoverable(findings, rel_path, raw_lines, code_lines)
         check_stale_analyze_suppressions(findings, rel_path, raw_lines,
                                          analyze_rules)

@@ -9,6 +9,13 @@ the thread-count-sensitive build path, and this gate pins the whole chain —
 dbuild output bytes, the packed frame, and every query answer — to be
 independent of the worker count.
 
+Each serve leg also writes a structured log (DWM_LOG_FILE, with the
+slow-query log forced on so volatile lines are present too); the logs are
+schema-validated and their *stable projections* — volatile lines dropped,
+measured "m" objects stripped — must be byte-identical across the two
+thread counts, pinning the logger's determinism contract alongside the
+transcripts (tools/validate_log.py does both checks).
+
 Runs as a ctest (`serve_determinism`) and is reproducible bit-for-bit.
 """
 
@@ -104,11 +111,22 @@ def main():
     print("ok   dbuild+pack: frames byte-identical at 1 and 8 threads")
 
     # Leg 2: the query path. The same script against the same frame must
-    # produce byte-identical transcripts at both thread counts.
+    # produce byte-identical transcripts at both thread counts. Each leg
+    # also writes a structured log for leg 3; the slow-query threshold is
+    # forced to 0 so the log carries volatile lines for the projection to
+    # strip, not just stable ones.
     transcripts = {}
+    logs = {}
     for threads in (1, 8):
+        env = scrubbed_env(threads)
+        log_path = os.path.join(workdir, f"serve_t{threads}.jsonl")
+        if os.path.exists(log_path):  # the logger appends
+            os.unlink(log_path)
+        env["DWM_LOG_FILE"] = log_path
+        env["DWM_SLOW_QUERY_US"] = "0"
+        logs[threads] = log_path
         proc = run([args.cli, "serve", "--synopsis", frames[1]],
-                   scrubbed_env(threads), stdin_text=QUERY_SCRIPT)
+                   env, stdin_text=QUERY_SCRIPT)
         if "error:" in proc.stdout:
             sys.exit(f"FAIL: serve script reported an error at "
                      f"DWM_THREADS={threads}:\n{proc.stdout}")
@@ -126,6 +144,19 @@ def main():
                  f"{transcripts[1]}")
     print(f"ok   serve: transcripts byte-identical at 1 and 8 threads "
           f"({len(answers)} answer lines)")
+
+    # Leg 3: the structured logs. Schema-valid, and the stable projections
+    # must match across thread counts (validate_log.py does both).
+    validate_log = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                "validate_log.py")
+    proc = subprocess.run([sys.executable, validate_log, logs[1], logs[8],
+                           "--expect-stable-identical"],
+                          capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.exit("FAIL: structured logs did not validate or their stable "
+                 f"projections differ:\n{proc.stdout}{proc.stderr}")
+    print("ok   logs: schema-valid, stable projections byte-identical at "
+          "1 and 8 threads")
     print("serve_determinism: PASS")
     return 0
 

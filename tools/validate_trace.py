@@ -16,6 +16,15 @@ DWM_TRACE knob, or bench_util's MaybeWriteTrace:
   * keeps every attempt span inside [0, total_sim_seconds] on the modeled
     timeline.
 
+Serve traces (the pid-3 lane written by `dwm_cli serve` `trace on` or
+`serve_bench --trace`, cat "serve") are validated structurally instead:
+at least one request root span (args carry "queries"), root request ids
+strictly increasing, and every child span (req<id>/<phase>,
+req<id>/reconstruct@<block>) attributed to a known request and contained
+in its root's interval. A file may hold either kind of span or both
+(ServeTraceCollector::Append composes with a build trace); job-level
+coverage checks apply only when job spans are present.
+
 With --expect-identical FILE, additionally requires the two files to be
 byte-identical — CI uses this to pin the stable export's determinism
 across worker-thread counts.
@@ -61,6 +70,43 @@ def validate_event(findings, path, i, event):
             fail(findings, path, f"event {i}: negative {field!r}: {value!r}")
 
 
+def validate_serve_spans(findings, path, serve):
+    """Structural checks for the serve lane (see the module docstring)."""
+    roots = [e for e in serve if "queries" in e.get("args", {})]
+    if not roots:
+        fail(findings, path, "serve spans present but no request roots "
+             "(args carry 'queries')")
+        return
+    last_request = 0
+    intervals = {}
+    for e in roots:
+        request = e.get("args", {}).get("request")
+        if not isinstance(request, int) or request <= last_request:
+            fail(findings, path, f"request root {e.get('name')!r}: ids must "
+                 f"be strictly increasing, got {request!r} after "
+                 f"{last_request}")
+            return
+        last_request = request
+        intervals[request] = (e["ts"], e["ts"] + e["dur"])
+    # ts/dur are serialized with three decimals (1 ns at the us unit), so
+    # allow that much rounding slack on containment.
+    slack = 0.01
+    for e in serve:
+        if "queries" in e.get("args", {}):
+            continue
+        request = e.get("args", {}).get("request")
+        if request not in intervals:
+            fail(findings, path, f"serve child span {e.get('name')!r} "
+                 f"references unknown request {request!r}")
+            return
+        lo, hi = intervals[request]
+        if e["ts"] < lo - slack or e["ts"] + e["dur"] > hi + slack:
+            fail(findings, path, f"serve child span {e.get('name')!r} "
+                 f"[{e['ts']:.3f}, {e['ts'] + e['dur']:.3f}]us escapes its "
+                 f"request's [{lo:.3f}, {hi:.3f}]us")
+            return
+
+
 def validate_file(findings, path):
     try:
         with open(path, encoding="utf-8") as f:
@@ -85,11 +131,18 @@ def validate_file(findings, path):
 
     # Coverage: job spans, the four phases per job, attempt lanes. Phase
     # and attempt spans share cat values ("map"/"reduce"); args.attempt
-    # tells them apart (0 for a phase, >= 1 for a task attempt).
+    # tells them apart (0 for a phase, >= 1 for a task attempt). A trace
+    # may instead (or additionally) carry serve request spans.
     xs = [e for e in events if e.get("ph") == "X"]
     jobs = [e for e in xs if e.get("cat") == "job"]
+    serve = [e for e in xs if e.get("cat") == "serve"]
+    if not jobs and not serve:
+        fail(findings, path, "no job spans (cat='job') and no serve spans "
+             "(cat='serve')")
+    if serve:
+        validate_serve_spans(findings, path, serve)
     if not jobs:
-        fail(findings, path, "no job spans (cat='job')")
+        return
     phases = [e for e in xs if e.get("cat") in KNOWN_PHASES
               and e.get("args", {}).get("attempt", 0) == 0]
     for phase in KNOWN_PHASES:
